@@ -1,0 +1,120 @@
+"""A1/A2 — ablations of the two key design choices.
+
+* **A1: cost-shaped search.** §5.4's third observation: repeated
+  production steps must be postponed by making them expensive. This
+  ablation re-runs the unifying search with *uniform* action costs and
+  compares explored-configuration counts on the paper's challenging
+  conflict. With uniform costs the search drowns; with the paper's cost
+  shaping it answers in milliseconds.
+
+* **A2: shortest-path restriction vs -extendedsearch.** §6's tradeoff:
+  restricting reverse transitions to the shortest lookahead-sensitive
+  path is fast but incomplete. ``ambfailed01`` is the corpus witness:
+  the restricted search cannot unify it, the extended search can.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.configurations as config_module
+from repro.automaton import build_lalr
+from repro.core import (
+    CounterexampleFinder,
+    LookaheadSensitiveGraph,
+    UnifyingSearch,
+    path_states,
+)
+from repro.corpus import get
+
+_A1: dict[str, tuple[bool, int]] = {}
+_A2: dict[str, tuple[bool, bool]] = {}
+
+
+@pytest.fixture
+def uniform_costs():
+    """Temporarily flatten the action costs (the ablated configuration)."""
+    saved = (
+        config_module.COST_PRODUCTION_STEP,
+        config_module.COST_REVERSE_PRODUCTION_STEP,
+    )
+    config_module.COST_PRODUCTION_STEP = 1.0
+    config_module.COST_REVERSE_PRODUCTION_STEP = 1.0
+    yield
+    (
+        config_module.COST_PRODUCTION_STEP,
+        config_module.COST_REVERSE_PRODUCTION_STEP,
+    ) = saved
+
+
+def _challenging_conflict():
+    automaton = build_lalr(get("figure1").load())
+    conflict = next(c for c in automaton.conflicts if str(c.terminal) == "DIGIT")
+    allowed = path_states(
+        LookaheadSensitiveGraph(automaton).shortest_path(conflict)
+    )
+    return automaton, conflict, allowed
+
+
+def test_a1_shaped_costs(benchmark):
+    """The paper's cost shaping solves the challenging conflict quickly."""
+    automaton, conflict, allowed = _challenging_conflict()
+
+    def run():
+        return UnifyingSearch(
+            automaton, conflict, allowed_prepend_states=allowed, time_limit=10.0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _A1["shaped"] = (result.succeeded, result.stats.explored)
+    assert result.succeeded
+
+
+def test_a1_uniform_costs(benchmark, uniform_costs):
+    """With uniform costs the same search explodes (bounded here at 3 s)."""
+    automaton, conflict, allowed = _challenging_conflict()
+
+    def run():
+        return UnifyingSearch(
+            automaton, conflict, allowed_prepend_states=allowed, time_limit=3.0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _A1["uniform"] = (result.succeeded, result.stats.explored)
+    # Uniform costs must be dramatically worse: either outright failure
+    # within the budget, or at least an order of magnitude more work.
+    if result.succeeded:
+        assert result.stats.explored > 10 * _A1["shaped"][1]
+
+
+@pytest.mark.parametrize("extended", [False, True])
+def test_a2_restriction_tradeoff(benchmark, extended):
+    """ambfailed01: restricted search cannot unify; extended search can."""
+    automaton = build_lalr(get("ambfailed01").load())
+
+    def run():
+        finder = CounterexampleFinder(
+            automaton, time_limit=10.0, extended_search=extended
+        )
+        return finder.explain_all()
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    unified = summary.num_unifying > 0
+    _A2["extended" if extended else "restricted"] = (unified, True)
+    if extended:
+        assert unified, "extended search must find the unifying counterexample"
+    else:
+        assert not unified, "restricted search must miss it (the §6 tradeoff)"
+
+
+def print_report() -> None:
+    """Called from conftest at session end."""
+    if _A1:
+        print("\n\n=== A1: cost shaping (challenging conflict, figure1) ===")
+        for mode, (succeeded, explored) in _A1.items():
+            outcome = "found" if succeeded else "FAILED"
+            print(f"  {mode:8} {outcome:6} after {explored} configurations")
+    if _A2:
+        print("\n=== A2: ambfailed01 under restricted vs extended search ===")
+        for mode, (unified, _) in _A2.items():
+            print(f"  {mode:10} unifying={'yes' if unified else 'no'}")

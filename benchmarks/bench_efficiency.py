@@ -1,0 +1,109 @@
+"""E4 — efficiency vs enumeration-based ambiguity detection (§7.3).
+
+The paper compares per-conflict counterexample time against the fastest
+ambiguity detector available to the authors (a grammar-filtering
+CFGAnalyzer variant), reporting a 10.7x geometric-mean speedup on the
+BV10 grammars, with the enumeration-based tool occasionally taking
+minutes to hours (C.2: 1.11 h).
+
+CFGAnalyzer itself is unavailable offline; our stand-in for the
+enumeration family is :class:`repro.baselines.BruteForceDetector`
+(AMBER-style breadth-first sentence enumeration with Earley derivation
+counting — the approach the paper describes as accurate but prohibitively
+slow). The claim regenerated here is the *shape*: the conflict-driven
+search answers per conflict one to several orders of magnitude faster
+than enumeration-based detection finds a single witness, and the gap
+widens with grammar size.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.baselines import BruteForceDetector, FilteredBruteForce
+from repro.core import CounterexampleFinder
+from repro.corpus import get
+
+#: Ambiguous BV10 grammars where both approaches get a fair shot.
+GRAMMARS = [
+    "SQL.1", "SQL.2", "SQL.3", "SQL.4", "SQL.5",
+    "Pascal.2", "Pascal.3", "Pascal.4", "Pascal.5",
+    "C.1", "C.5",
+    "Java.1", "Java.3", "Java.5",
+]
+
+#: Brute-force budget per grammar. The paper's counterpart numbers run
+#: to hours; this cap keeps the harness bounded while still demonstrating
+#: the blow-up (a capped run counts as >= the cap in the speedup figure).
+BRUTE_FORCE_BUDGET = 12.0
+
+_RESULTS: dict[str, tuple[float, float, bool, float, bool]] = {}
+
+
+@pytest.mark.parametrize("name", GRAMMARS)
+def test_conflict_search_vs_bruteforce(benchmark, name):
+    automaton = build_lalr(get(name).load())
+    grammar = automaton.grammar
+
+    def ours():
+        finder = CounterexampleFinder(
+            automaton, time_limit=5.0, cumulative_limit=60.0
+        )
+        return finder.explain_all()
+
+    summary = benchmark.pedantic(ours, rounds=1, iterations=1)
+    answered = summary.num_unifying + summary.num_nonunifying
+    per_conflict = summary.total_time / answered if answered else float("nan")
+
+    started = time.monotonic()
+    brute = BruteForceDetector(
+        grammar, max_length=14, time_limit=BRUTE_FORCE_BUDGET
+    ).run()
+    brute_time = time.monotonic() - started
+
+    # The paper's closing suggestion (§7.3): grammar filtering. The
+    # conflict-guided filtered detector enumerates from the candidate
+    # unifying nonterminals instead of the start symbol.
+    started = time.monotonic()
+    filtered = FilteredBruteForce(
+        automaton, max_length=14, time_limit=BRUTE_FORCE_BUDGET
+    ).run(automaton.conflicts[0])
+    filtered_time = time.monotonic() - started
+
+    _RESULTS[name] = (
+        per_conflict, brute_time, brute.ambiguous, filtered_time,
+        filtered.ambiguous,
+    )
+    # Our per-conflict time must beat the enumeration baseline.
+    assert per_conflict < brute_time or brute_time >= BRUTE_FORCE_BUDGET
+
+
+def print_report() -> None:
+    """Called from conftest at session end."""
+    if not _RESULTS:
+        return
+    print("\n\n=== E4: per-conflict time vs enumeration-based detection ===")
+    print(
+        f"{'grammar':12} {'ours/conflict':>14} {'brute-force':>12} "
+        f"{'filtered':>10} {'speedup':>9}"
+    )
+    ratios = []
+    for name, (ours, brute, found, filtered, filtered_found) in _RESULTS.items():
+        capped = "" if found else "*"
+        filtered_capped = "" if filtered_found else "*"
+        ratio = brute / ours if ours > 0 else float("inf")
+        ratios.append(ratio)
+        print(
+            f"{name:12} {ours:>12.4f}s {brute:>10.2f}s{capped:1} "
+            f"{filtered:>8.2f}s{filtered_capped:1} {ratio:>8.1f}x"
+        )
+    geomean = math.exp(sum(math.log(max(r, 1e-9)) for r in ratios) / len(ratios))
+    print(
+        f"geometric-mean speedup: {geomean:.1f}x over blind enumeration "
+        "(paper reports 10.7x vs the CFGAnalyzer variant; "
+        "* = budget-capped without a witness)"
+    )

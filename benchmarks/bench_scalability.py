@@ -1,0 +1,98 @@
+"""E5 — scalability with grammar size (§7.4).
+
+The paper's claim: "the running time of our algorithm only increases
+marginally on larger grammars, such as those for mainstream programming
+languages."
+
+Regenerated two ways:
+
+* a synthetic grammar family of growing size — ``k`` stratified operator
+  levels plus one injected dangling-else conflict, so the *conflict* is
+  identical while the grammar (and automaton) grows around it;
+* the natural size ladder of the corpus language grammars (SQL → Pascal
+  → C → Java), timing the same defect class (dangling else / collapsed
+  operator) at each size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import CounterexampleFinder
+from repro.corpus import get
+from repro.grammar import GrammarBuilder
+
+_SYNTHETIC: dict[int, tuple[int, int, float]] = {}
+_NATURAL: dict[str, tuple[int, float]] = {}
+
+
+def synthetic_grammar(levels: int):
+    """An if-else language over an expression grammar with *levels* strata.
+
+    Only the dangling else conflicts; the expression tower just inflates
+    the grammar and its automaton.
+    """
+    builder = GrammarBuilder(f"synthetic-{levels}")
+    builder.rule("stmt", "IF e0 THEN stmt ELSE stmt")
+    builder.rule("stmt", "IF e0 THEN stmt")
+    builder.rule("stmt", "ID ASSIGN e0")
+    builder.rule("stmt", "LBRACE stmt RBRACE")
+    for level in range(levels):
+        this, below = f"e{level}", f"e{level + 1}"
+        builder.rule(this, f"{this} OP{level} {below}")
+        builder.rule(this, below)
+    builder.rule(f"e{levels}", "ID")
+    builder.rule(f"e{levels}", "NUM")
+    builder.rule(f"e{levels}", f"LPAREN e0 RPAREN")
+    return builder.build(start="stmt")
+
+
+@pytest.mark.parametrize("levels", [1, 5, 10, 20, 40, 80])
+def test_synthetic_scaling(benchmark, levels):
+    grammar = synthetic_grammar(levels)
+    automaton = build_lalr(grammar)
+    assert len(automaton.conflicts) == 1  # only the dangling else
+
+    def run():
+        finder = CounterexampleFinder(automaton, time_limit=10.0)
+        return finder.explain_all()
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.num_unifying == 1
+    _SYNTHETIC[levels] = (
+        grammar.num_user_productions,
+        len(automaton.states),
+        summary.total_time,
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["figure1", "SQL.1", "Pascal.2", "C.1", "Java.1"]
+)
+def test_natural_size_ladder(benchmark, name):
+    """The same defect classes across the corpus size ladder."""
+    automaton = build_lalr(get(name).load())
+
+    def run():
+        finder = CounterexampleFinder(automaton, time_limit=5.0)
+        return finder.explain_all()
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    answered = summary.num_unifying + summary.num_nonunifying
+    per_conflict = summary.total_time / answered if answered else float("nan")
+    _NATURAL[name] = (len(automaton.states), per_conflict)
+    assert summary.num_unifying > 0
+
+
+def print_report() -> None:
+    """Called from conftest at session end."""
+    if _SYNTHETIC:
+        print("\n\n=== E5a: synthetic scaling (same conflict, growing grammar) ===")
+        print(f"{'levels':>7} {'prods':>6} {'states':>7} {'time':>9}")
+        for levels, (prods, states, elapsed) in sorted(_SYNTHETIC.items()):
+            print(f"{levels:>7} {prods:>6} {states:>7} {elapsed:>8.3f}s")
+    if _NATURAL:
+        print("\n=== E5b: natural size ladder (per-conflict time) ===")
+        for name, (states, per_conflict) in _NATURAL.items():
+            print(f"  {name:10} states={states:<5} {per_conflict:.3f}s/conflict")

@@ -1,0 +1,116 @@
+"""E1 — regenerate Table 1 (the paper's single results exhibit).
+
+For every corpus grammar this benchmark runs the counterexample finder
+over all conflicts with the paper's time policy and records the Table 1
+columns: #nonterms, #prods, #states, #conflicts, Amb?, #unif, #nonunif,
+#time-out, total and average time. The collected rows are printed as a
+Table 1 facsimile at the end of the session, with the paper's published
+numbers alongside.
+
+Heavy rows (conflict explosions and T/L grammars) run with reduced
+budgets by default so the benchmark session stays in minutes; pass
+``--table1-full`` for the paper's full 5 s / 120 s budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import CounterexampleFinder
+from repro.corpus import all_specs, get
+
+#: Grammars whose finder run is expensive (conflict explosions / T/L rows).
+HEAVY = {"Java.2", "Java.4", "C.4", "Pascal.1", "java-ext1", "java-ext2"}
+
+_ROWS: list[dict] = []
+
+
+def _corpus_names() -> list[str]:
+    return [spec.name for spec in all_specs()]
+
+
+@pytest.mark.parametrize("name", _corpus_names())
+def test_table1_row(benchmark, name, full_budgets):
+    """Benchmark `explain_all` per grammar and collect its Table 1 row."""
+    spec = get(name)
+    grammar = spec.load()
+    automaton = build_lalr(grammar)
+
+    if name in HEAVY and not full_budgets:
+        time_limit, cumulative = 1.0, 20.0
+    else:
+        time_limit, cumulative = 5.0, 120.0
+
+    def run():
+        finder = CounterexampleFinder(
+            automaton, time_limit=time_limit, cumulative_limit=cumulative
+        )
+        return finder.explain_all()
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    row = {
+        "name": name,
+        "nonterms": grammar.num_user_nonterminals,
+        "prods": grammar.num_user_productions,
+        "states": len(automaton.states),
+        "conflicts": summary.num_conflicts,
+        "ambiguous": spec.ambiguous,
+        "unifying": summary.num_unifying,
+        "nonunifying": summary.num_nonunifying,
+        "timeouts": summary.num_timeout,
+        "skipped": summary.num_skipped_search,
+        "total": summary.total_time,
+        "average": summary.average_time,
+        "paper": spec.paper,
+    }
+    _ROWS.append(row)
+
+    # Invariant: every conflict is answered with some counterexample.
+    assert (
+        summary.num_unifying + summary.num_nonunifying + summary.num_timeout
+        == summary.num_conflicts
+    )
+    # Unambiguous grammars can never produce a unifying counterexample.
+    if not spec.ambiguous:
+        assert summary.num_unifying == 0
+
+
+def format_table1(rows: list[dict]) -> str:
+    """Render collected rows as a Table 1 facsimile with paper references."""
+    header = (
+        f"{'Grammar':14} {'#nt':>4} {'#pr':>4} {'#st':>5} {'#cf':>5} "
+        f"{'Amb':>3} {'#un':>4} {'#nu':>4} {'#to':>4} {'total':>8} {'avg':>8}"
+        f"   paper(#cf un/nu/to total)"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        paper = row["paper"]
+        if paper is not None:
+            total = "T/L" if paper.total_time is None else f"{paper.total_time:.3f}"
+            reference = (
+                f"({paper.conflicts} {paper.unifying}/{paper.nonunifying}/"
+                f"{paper.timeouts} {total})"
+            )
+        else:
+            reference = "(n/a)"
+        average = "  T/L" if row["conflicts"] == row["timeouts"] and row[
+            "conflicts"
+        ] else f"{row['average']:8.3f}"
+        skipped = f" (+{row['skipped']})" if row.get("skipped") else ""
+        lines.append(
+            f"{row['name']:14} {row['nonterms']:>4} {row['prods']:>4} "
+            f"{row['states']:>5} {row['conflicts']:>5} "
+            f"{'Y' if row['ambiguous'] else 'N':>3} {row['unifying']:>4} "
+            f"{row['nonunifying']:>4} {row['timeouts']:>4} "
+            f"{row['total']:8.3f} {average}   {reference}{skipped}"
+        )
+    return "\n".join(lines)
+
+
+def print_report() -> None:
+    """Called from conftest at session end."""
+    if _ROWS:
+        print("\n\n=== Table 1 (reproduced) ===")
+        print(format_table1(_ROWS))

@@ -1,0 +1,63 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates part of the paper's evaluation (§7 / Table 1).
+Timings here are *pure Python on whatever machine runs them*, so absolute
+numbers differ from the paper's Java implementation; the claims being
+reproduced are the shapes — which conflicts unify, where the search times
+out, how the per-conflict time scales with grammar size, and how far
+ahead of brute-force enumeration the conflict-driven search is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--table1-full",
+        action="store_true",
+        default=False,
+        help="run the heavy Table 1 rows (Java.2/Java.4, C.4, java-ext*) "
+        "with the paper's full 5 s / 2 min budgets",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_budgets(request) -> bool:
+    return request.config.getoption("--table1-full")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print each harness's regenerated table/series after the run.
+
+    The same text is appended to ``benchmarks/last_report.txt`` so the
+    regenerated tables survive terminal scrollback.
+    """
+    import contextlib
+    import importlib
+    import io
+    import pathlib
+
+    buffer = io.StringIO()
+    for module_name in (
+        "bench_table1",
+        "bench_effectiveness",
+        "bench_efficiency",
+        "bench_scalability",
+        "bench_ablation",
+    ):
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        report = getattr(module, "print_report", None)
+        if report is not None:
+            with contextlib.redirect_stdout(buffer):
+                report()
+    text = buffer.getvalue()
+    if text.strip():
+        print(text)
+        report_path = pathlib.Path(__file__).parent / "last_report.txt"
+        with report_path.open("a", encoding="utf-8") as handle:
+            handle.write(text)

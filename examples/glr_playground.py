@@ -1,0 +1,79 @@
+"""GLR, brute force, and counterexamples on the same ambiguity (§8).
+
+The paper situates its static counterexamples against two dynamic
+approaches: GLR parsing (which forks at conflicts and surfaces ambiguity
+only when an ambiguous *input* arrives) and enumeration-based detection
+(which searches for an ambiguous input blindly). This example runs all
+three on one grammar so the trade-offs are visible:
+
+* the counterexample finder explains each conflict statically and
+  instantly, at parser-construction time;
+* GLR demonstrates the cost of postponing: Catalan-number parse forests;
+* brute-force enumeration finds a witness, but only by checking
+  sentences one at a time.
+
+Run with::
+
+    python examples/glr_playground.py
+"""
+
+from repro.automaton import build_lalr
+from repro.baselines import find_ambiguity
+from repro.core import CounterexampleFinder, format_symbols
+from repro.grammar import GrammarAnalysis, load_grammar
+from repro.parsing import GLRParser
+
+GRAMMAR = """
+%grammar playground
+%start e
+e : e '+' e | e '*' e | '(' e ')' | NUM ;
+"""
+
+
+def main() -> None:
+    grammar = load_grammar(GRAMMAR)
+    automaton = build_lalr(grammar)
+
+    # --- 1. Static counterexamples ------------------------------------ #
+    print("=== counterexamples (static, parser-construction time) ===")
+    finder = CounterexampleFinder(automaton)
+    examples = []
+    for report in finder.explain_all().reports:
+        example = report.counterexample
+        examples.append(example)
+        print(f"  {example.conflict.terminal}: "
+              f"{format_symbols(example.example1())}  "
+              f"(unifying nonterminal: {example.nonterminal})")
+    print()
+
+    # --- 2. GLR: pay at parse time ------------------------------------ #
+    print("=== GLR parse forests (dynamic, per input) ===")
+    glr = GLRParser(automaton)
+    for n in range(1, 6):
+        tokens = ["NUM"] + ["+", "NUM"] * n
+        forest = glr.parse_all(tokens)
+        print(f"  NUM {'+ NUM ' * n}-> {len(forest)} parses")
+    print("  (Catalan growth: the ambiguity the counterexamples predicted)\n")
+
+    # --- 3. Brute force: search for a witness -------------------------- #
+    print("=== brute-force enumeration (AMBER-style) ===")
+    result = find_ambiguity(grammar, max_length=7, time_limit=30)
+    print(f"  {result}\n")
+
+    # --- 4. Instantiating a counterexample ----------------------------- #
+    # A unifying counterexample is a sentential form; replacing each
+    # nonterminal leaf by any of its derivations yields a concrete
+    # ambiguous sentence.
+    analysis = GrammarAnalysis(grammar)
+    example = examples[0]
+    tokens = []
+    for symbol in example.example1_symbols():
+        tokens.extend(analysis.shortest_expansion(symbol))
+    forest = glr.parse_all(tokens)
+    print("=== instantiating the first counterexample ===")
+    print(f"  {format_symbols(example.example1())}  ->  {' '.join(map(str, tokens))}")
+    print(f"  GLR parses of the instantiation: {len(forest)} (>= 2: ambiguous)")
+
+
+if __name__ == "__main__":
+    main()

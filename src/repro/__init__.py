@@ -1,0 +1,55 @@
+"""repro — Finding counterexamples from parsing conflicts (PLDI 2015).
+
+This package is a from-scratch reproduction of the counterexample-finding
+algorithm of Isradisaikul and Myers, together with the entire LALR
+parser-generator substrate it runs on.
+
+The most convenient entry points:
+
+* :func:`repro.grammar.load_grammar` — parse a yacc-like grammar text.
+* :class:`repro.automaton.LALRAutomaton` — build the LALR(1) automaton
+  and parse tables, exposing any shift/reduce and reduce/reduce conflicts.
+* :class:`repro.core.CounterexampleFinder` — explain each conflict with a
+  unifying or nonunifying counterexample.
+* :func:`repro.core.explain_conflicts` — one-call convenience wrapper that
+  returns formatted, CUP-style conflict reports for a grammar.
+
+Submodules are imported lazily so that, e.g., loading a grammar does not
+pull in the whole search machinery.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grammar",
+    "load_grammar",
+    "LALRAutomaton",
+    "build_lalr",
+    "CounterexampleFinder",
+    "explain_conflicts",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "Grammar": ("repro.grammar", "Grammar"),
+    "load_grammar": ("repro.grammar", "load_grammar"),
+    "LALRAutomaton": ("repro.automaton", "LALRAutomaton"),
+    "build_lalr": ("repro.automaton", "build_lalr"),
+    "CounterexampleFinder": ("repro.core", "CounterexampleFinder"),
+    "explain_conflicts": ("repro.core", "explain_conflicts"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value

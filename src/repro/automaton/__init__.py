@@ -1,0 +1,55 @@
+"""LR automata: LR(0) skeleton, LALR(1)/LR(1)/SLR(1) lookaheads, tables."""
+
+from repro.automaton.conflicts import Conflict, ConflictKind
+from repro.automaton.items import Item, end_item, start_item
+from repro.automaton.lalr import LALRAutomaton, build_lalr, compute_lalr_lookaheads
+from repro.automaton.lookups import ReverseLookups
+from repro.automaton.serialize import (
+    dump_tables,
+    load_tables,
+    tables_from_dict,
+    tables_to_dict,
+)
+from repro.automaton.lr0 import LR0Automaton, LR0State, closure
+from repro.automaton.lr1 import LR1Automaton, LR1State, lr1_closure
+from repro.automaton.slr import compute_slr_lookaheads, count_slr_conflicts
+from repro.automaton.tables import (
+    Accept,
+    Action,
+    ErrorAction,
+    ParseTables,
+    Reduce,
+    Shift,
+    build_tables,
+)
+
+__all__ = [
+    "Accept",
+    "Action",
+    "Conflict",
+    "ConflictKind",
+    "ErrorAction",
+    "Item",
+    "LALRAutomaton",
+    "LR0Automaton",
+    "LR0State",
+    "LR1Automaton",
+    "LR1State",
+    "ParseTables",
+    "Reduce",
+    "ReverseLookups",
+    "Shift",
+    "build_lalr",
+    "build_tables",
+    "closure",
+    "compute_lalr_lookaheads",
+    "compute_slr_lookaheads",
+    "count_slr_conflicts",
+    "dump_tables",
+    "end_item",
+    "load_tables",
+    "lr1_closure",
+    "start_item",
+    "tables_from_dict",
+    "tables_to_dict",
+]

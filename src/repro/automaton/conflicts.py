@@ -1,0 +1,64 @@
+"""Parsing conflicts: the objects the counterexample finder explains."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.automaton.items import Item
+from repro.grammar import Terminal
+
+
+class ConflictKind(enum.Enum):
+    """Shift/reduce or reduce/reduce (paper §2.2–2.3)."""
+
+    SHIFT_REDUCE = "shift/reduce"
+    REDUCE_REDUCE = "reduce/reduce"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One unresolved parsing conflict.
+
+    Attributes:
+        state_id: The conflict state.
+        terminal: The conflict (lookahead) symbol.
+        kind: Shift/reduce or reduce/reduce.
+        reduce_item: The conflicting reduce item (``item1`` of the paper's
+            product-parser construction; the parser copy that performs the
+            reduction).
+        other_item: The shift item for shift/reduce conflicts, or the
+            second reduce item for reduce/reduce conflicts (``item2``).
+    """
+
+    state_id: int
+    terminal: Terminal
+    kind: ConflictKind
+    reduce_item: Item
+    other_item: Item
+
+    @property
+    def is_shift_reduce(self) -> bool:
+        return self.kind is ConflictKind.SHIFT_REDUCE
+
+    def describe(self) -> str:
+        """CUP-style multi-line description of the conflict itself."""
+        if self.is_shift_reduce:
+            return (
+                f"*** Shift/Reduce conflict found in state #{self.state_id}\n"
+                f"  between reduction on {self.reduce_item}\n"
+                f"  and shift on {self.other_item}\n"
+                f"  under symbol {self.terminal}"
+            )
+        return (
+            f"*** Reduce/Reduce conflict found in state #{self.state_id}\n"
+            f"  between reduction on {self.reduce_item}\n"
+            f"  and reduction on {self.other_item}\n"
+            f"  under symbol {self.terminal}"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.value} in state {self.state_id} on {self.terminal}: "
+            f"[{self.reduce_item}] vs [{self.other_item}]"
+        )

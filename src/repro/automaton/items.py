@@ -1,0 +1,116 @@
+"""LR items: a production plus a dot position.
+
+An :class:`Item` is the unit of LR automaton construction and of the
+paper's counterexample search, which walks item-to-item edges (transitions
+and production steps) both forward and backward.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.grammar import Production, Symbol
+
+
+class Item:
+    """An LR(0) item ``A -> X1 ... Xk . X(k+1) ... Xn``.
+
+    A plain class rather than a dataclass: items are hashed heavily inside
+    the counterexample search, so the hash is precomputed. Equality is
+    ``(production index, dot)`` — items are only ever compared within one
+    grammar, where production indices are unique.
+    """
+
+    __slots__ = ("production", "dot", "_hash")
+
+    def __init__(self, production: Production, dot: int) -> None:
+        if not 0 <= dot <= len(production.rhs):
+            raise ValueError(f"dot position {dot} out of range for {production}")
+        self.production = production
+        self.dot = dot
+        self._hash = hash((production.index, dot))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Item)
+            and self.dot == other.dot
+            and self.production.index == other.production.index
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def at_end(self) -> bool:
+        """Whether this is a reduce item (dot at the end of the production)."""
+        return self.dot == len(self.production.rhs)
+
+    @property
+    def at_start(self) -> bool:
+        """Whether the dot is at position 0 (fresh production step)."""
+        return self.dot == 0
+
+    @property
+    def next_symbol(self) -> Symbol | None:
+        """The symbol immediately after the dot, or ``None`` for reduce items."""
+        if self.at_end:
+            return None
+        return self.production.rhs[self.dot]
+
+    @property
+    def previous_symbol(self) -> Symbol | None:
+        """The symbol immediately before the dot, or ``None`` at position 0."""
+        if self.dot == 0:
+            return None
+        return self.production.rhs[self.dot - 1]
+
+    @property
+    def lhs(self) -> Symbol:
+        return self.production.lhs
+
+    @property
+    def rhs(self) -> tuple[Symbol, ...]:
+        return self.production.rhs
+
+    def advance(self) -> "Item":
+        """The item with the dot moved one symbol to the right."""
+        if self.at_end:
+            raise ValueError(f"cannot advance reduce item {self}")
+        return Item(self.production, self.dot + 1)
+
+    def retreat(self) -> "Item":
+        """The item with the dot moved one symbol to the left."""
+        if self.dot == 0:
+            raise ValueError(f"cannot retreat item {self}")
+        return Item(self.production, self.dot - 1)
+
+    def tail(self) -> tuple[Symbol, ...]:
+        """Symbols after the dot."""
+        return self.production.rhs[self.dot :]
+
+    def dot_walk(self) -> Iterator["Item"]:
+        """All items of this production from dot 0 up to and including this one."""
+        for dot in range(self.dot + 1):
+            yield Item(self.production, dot)
+
+    # ------------------------------------------------------------------ #
+
+    def __str__(self) -> str:
+        rhs = [str(symbol) for symbol in self.production.rhs]
+        rhs.insert(self.dot, "•")
+        return f"{self.production.lhs} ::= {' '.join(rhs)}"
+
+    def __repr__(self) -> str:
+        return f"Item({self})"
+
+
+def start_item(production: Production) -> Item:
+    """The item for *production* with the dot at position 0."""
+    return Item(production, 0)
+
+
+def end_item(production: Production) -> Item:
+    """The reduce item for *production* (dot at the end)."""
+    return Item(production, len(production.rhs))

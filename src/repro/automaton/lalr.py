@@ -1,0 +1,171 @@
+"""LALR(1) lookahead computation and the main automaton facade.
+
+Lookaheads are computed for **every** item of every state (not just kernel
+items) with the channel/propagation-graph algorithm:
+
+* seed: the start item of state 0 carries ``{$}``;
+* goto channel: an item's lookahead flows unchanged to its advanced item
+  in the successor state;
+* closure channel: for ``A -> α . B β`` with lookahead ``L``, each closure
+  item ``B -> . γ`` in the same state spontaneously receives ``FIRST(β)``
+  and additionally receives ``L`` when ``β`` is nullable.
+
+The fixpoint of these channels is exactly the LALR(1) lookahead function,
+and having it for closure items too is what the counterexample algorithms
+need (the paper's lookahead-sensitive graph and the stage-1 constraint of
+the unifying search both consult arbitrary items' lookahead sets).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.automaton.items import Item
+from repro.automaton.lr0 import LR0Automaton, LR0State
+from repro.grammar import (
+    END_OF_INPUT,
+    Grammar,
+    GrammarAnalysis,
+    Nonterminal,
+    Production,
+    Terminal,
+)
+
+
+def compute_lalr_lookaheads(
+    automaton: LR0Automaton, analysis: GrammarAnalysis
+) -> dict[tuple[int, Item], frozenset[Terminal]]:
+    """LALR(1) lookahead sets for every ``(state id, item)`` pair."""
+    lookaheads: dict[tuple[int, Item], set[Terminal]] = {
+        (state.id, item): set() for state in automaton.states for item in state.items
+    }
+    #: propagation edges: source key -> target keys receiving everything
+    propagate: dict[tuple[int, Item], list[tuple[int, Item]]] = {
+        key: [] for key in lookaheads
+    }
+
+    start_key = (0, automaton.start_state.items[0])
+    lookaheads[start_key].add(END_OF_INPUT)
+
+    for state in automaton.states:
+        for item in state.items:
+            key = (state.id, item)
+            symbol = item.next_symbol
+            if symbol is None:
+                continue
+            # Goto channel.
+            target_state = state.transitions[symbol]
+            propagate[key].append((target_state.id, item.advance()))
+            # Closure channel.
+            if symbol.is_nonterminal:
+                assert isinstance(symbol, Nonterminal)
+                beta = item.production.rhs[item.dot + 1 :]
+                spontaneous, beta_nullable = analysis.first_of_sequence_ex(beta)
+                for production in automaton.grammar.productions_of(symbol):
+                    closure_key = (state.id, Item(production, 0))
+                    lookaheads[closure_key].update(spontaneous)
+                    if beta_nullable:
+                        propagate[key].append(closure_key)
+
+    # Worklist fixpoint over the propagation graph.
+    worklist: list[tuple[int, Item]] = [
+        key for key, values in lookaheads.items() if values
+    ]
+    in_worklist = set(worklist)
+    while worklist:
+        key = worklist.pop()
+        in_worklist.discard(key)
+        source = lookaheads[key]
+        for target in propagate[key]:
+            target_set = lookaheads[target]
+            before = len(target_set)
+            target_set |= source
+            if len(target_set) != before and target not in in_worklist:
+                worklist.append(target)
+                in_worklist.add(target)
+
+    return {key: frozenset(values) for key, values in lookaheads.items()}
+
+
+class LALRAutomaton:
+    """An LALR(1) automaton: LR(0) skeleton plus per-item lookahead sets.
+
+    This is the facade the rest of the library builds on. It exposes the
+    state graph, lookahead queries, reverse-action lookup tables, the
+    parse tables, and the conflict list.
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.analysis = GrammarAnalysis(grammar)
+        self.lr0 = LR0Automaton(grammar)
+        self.lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = (
+            compute_lalr_lookaheads(self.lr0, self.analysis)
+        )
+
+    # ------------------------------------------------------------------ #
+    # State graph queries
+
+    @property
+    def states(self) -> list[LR0State]:
+        return self.lr0.states
+
+    @property
+    def start_state(self) -> LR0State:
+        return self.lr0.start_state
+
+    @property
+    def start_item(self) -> Item:
+        """The item ``START' -> . S $`` of state 0."""
+        return self.start_state.items[0]
+
+    def goto(self, state: LR0State, symbol) -> LR0State | None:
+        return self.lr0.goto(state, symbol)
+
+    def lookahead(self, state: LR0State | int, item: Item) -> frozenset[Terminal]:
+        """The LALR(1) lookahead set of *item* within *state*."""
+        state_id = state if isinstance(state, int) else state.id
+        return self.lookaheads[(state_id, item)]
+
+    # ------------------------------------------------------------------ #
+    # Derived artifacts (built lazily)
+
+    @cached_property
+    def tables(self):
+        """ACTION/GOTO parse tables with precedence-based conflict resolution."""
+        from repro.automaton.tables import build_tables
+
+        return build_tables(self)
+
+    @property
+    def conflicts(self):
+        """Unresolved conflicts, in (state, terminal) order."""
+        return self.tables.conflicts
+
+    @cached_property
+    def lookups(self):
+        """Reverse-action lookup tables (paper §6 "Data structures")."""
+        from repro.automaton.lookups import ReverseLookups
+
+        return ReverseLookups(self)
+
+    # ------------------------------------------------------------------ #
+
+    def __str__(self) -> str:
+        lines: list[str] = []
+        for state in self.states:
+            lines.append(f"State {state.id}")
+            for item in state.items:
+                las = ", ".join(sorted(str(t) for t in self.lookahead(state, item)))
+                lines.append(f"  {item}  {{{las}}}")
+            for symbol, target in sorted(
+                state.transitions.items(), key=lambda pair: str(pair[0])
+            ):
+                lines.append(f"  on {symbol} -> state {target.id}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def build_lalr(grammar: Grammar) -> LALRAutomaton:
+    """Construct the LALR(1) automaton for *grammar*."""
+    return LALRAutomaton(grammar)

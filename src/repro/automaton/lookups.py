@@ -1,0 +1,125 @@
+"""Reverse-action lookup tables (paper §6, "Data structures").
+
+The counterexample searches repeatedly ask questions parser generators do
+not normally answer:
+
+* which ``(state, item)`` pairs reach this pair via a transition edge
+  (**reverse transitions**);
+* which items of the same state produced this closure item via a
+  production step (**reverse production steps**, i.e. items of the form
+  ``A -> α . B β`` for a closure item ``B -> . γ``);
+* which states can reach a given conflict item at all (used to prune the
+  shortest lookahead-sensitive path search).
+
+:class:`ReverseLookups` materialises these tables once per automaton,
+before the first conflict is processed, exactly as the implementation
+described in the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.automaton.items import Item
+from repro.automaton.lr0 import LR0State
+from repro.grammar import Nonterminal
+
+
+class ReverseLookups:
+    """Precomputed reverse transition / reverse production-step tables."""
+
+    def __init__(self, automaton) -> None:
+        self._automaton = automaton
+        #: (state_id, nonterminal) -> items ``A -> α . B β`` of that state.
+        self.production_parents: dict[tuple[int, Nonterminal], list[Item]] = {}
+        #: state_id -> items of the state, as a set for membership tests.
+        self.item_sets: dict[int, frozenset[Item]] = {}
+        self._reaching_cache: dict[
+            tuple[int, Item], frozenset[tuple[int, Item]]
+        ] = {}
+        for state in automaton.states:
+            self.item_sets[state.id] = frozenset(state.items)
+            for item in state.items:
+                symbol = item.next_symbol
+                if symbol is not None and symbol.is_nonterminal:
+                    assert isinstance(symbol, Nonterminal)
+                    self.production_parents.setdefault(
+                        (state.id, symbol), []
+                    ).append(item)
+
+    # ------------------------------------------------------------------ #
+
+    def reverse_transitions(
+        self, state: LR0State, item: Item
+    ) -> list[tuple[LR0State, Item]]:
+        """Predecessor ``(state, item)`` pairs via a transition edge.
+
+        For an item with the dot past position 0, the predecessors are the
+        retreated item in every state with a matching transition into
+        *state*.
+        """
+        symbol = item.previous_symbol
+        if symbol is None:
+            return []
+        retreated = item.retreat()
+        result: list[tuple[LR0State, Item]] = []
+        for predecessor in self._automaton.lr0.predecessors_on(state, symbol):
+            if retreated in self.item_sets[predecessor.id]:
+                result.append((predecessor, retreated))
+        return result
+
+    def reverse_production_steps(self, state: LR0State, item: Item) -> list[Item]:
+        """Items of *state* that can take a production step into *item*.
+
+        Only items with the dot at position 0 have reverse production
+        steps; the result is every item ``A -> α . B β`` of *state* where
+        ``B`` is *item*'s left-hand side.
+        """
+        if not item.at_start:
+            return []
+        lhs = item.production.lhs
+        assert isinstance(lhs, Nonterminal)
+        return self.production_parents.get((state.id, lhs), [])
+
+    # ------------------------------------------------------------------ #
+
+    def reaching_pairs(
+        self, state: LR0State, item: Item
+    ) -> frozenset[tuple[int, Item]]:
+        """All ``(state id, item)`` pairs that can reach ``(state, item)``.
+
+        Walks reverse transitions and reverse production steps from the
+        target pair. The result bounds the shortest lookahead-sensitive
+        path search (§6 "Finding shortest lookahead-sensitive path") —
+        any path vertex must be one of these pairs. Results are cached
+        per target pair.
+        """
+        cache_key = (state.id, item)
+        cached = self._reaching_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        seen: set[tuple[int, Item]] = {cache_key}
+        frontier: list[tuple[LR0State, Item]] = [(state, item)]
+        while frontier:
+            current_state, current_item = frontier.pop()
+            for pred_state, pred_item in self.reverse_transitions(
+                current_state, current_item
+            ):
+                key = (pred_state.id, pred_item)
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append((pred_state, pred_item))
+            for parent_item in self.reverse_production_steps(
+                current_state, current_item
+            ):
+                key = (current_state.id, parent_item)
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append((current_state, parent_item))
+        result = frozenset(seen)
+        self._reaching_cache[cache_key] = result
+        return result
+
+    def states_reaching(self, state: LR0State, item: Item) -> frozenset[int]:
+        """IDs of states that can reach ``(state, item)`` going backward."""
+        return frozenset(
+            state_id for state_id, _ in self.reaching_pairs(state, item)
+        )

@@ -1,0 +1,131 @@
+"""Serialize parse tables to and from plain dictionaries.
+
+Production parser generators emit their tables so that parsing does not
+repeat automaton construction. This module provides that:
+
+* :func:`tables_to_dict` — a JSON-compatible dictionary capturing the
+  ACTION/GOTO tables, the productions, and the start symbol;
+* :func:`tables_from_dict` — reconstructs a
+  :class:`~repro.automaton.tables.ParseTables` plus a minimal grammar
+  view sufficient to run :class:`~repro.parsing.runtime.LRParser`;
+* :func:`dump_tables` / :func:`load_tables` — the same through JSON text.
+
+Conflicts are intentionally *not* serialized: tables are only emitted for
+grammars one intends to parse with, and the loader refuses tables whose
+source automaton had unresolved conflicts unless ``allow_conflicts``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.automaton.lalr import LALRAutomaton
+from repro.automaton.tables import Accept, Action, ErrorAction, ParseTables, Reduce, Shift
+from repro.grammar import Grammar, Nonterminal, Terminal
+
+FORMAT_VERSION = 1
+
+
+def tables_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
+    """A JSON-compatible snapshot of the automaton's parse tables."""
+    grammar = automaton.grammar
+    tables = automaton.tables
+
+    def encode_action(action: Action) -> list[Any]:
+        if isinstance(action, Shift):
+            return ["s", action.state_id]
+        if isinstance(action, Reduce):
+            return ["r", action.production.index]
+        if isinstance(action, Accept):
+            return ["a"]
+        return ["e"]
+
+    return {
+        "version": FORMAT_VERSION,
+        "grammar": grammar.name,
+        "start": grammar.start.name,
+        "conflicts": len(tables.conflicts),
+        "productions": [
+            {
+                "lhs": production.lhs.name,
+                "rhs": [
+                    ["n" if symbol.is_nonterminal else "t", symbol.name]
+                    for symbol in production.rhs
+                ],
+            }
+            for production in grammar.productions
+        ],
+        "action": [
+            {terminal.name: encode_action(action) for terminal, action in row.items()}
+            for row in tables.action
+        ],
+        "goto": [
+            {nonterminal.name: target for nonterminal, target in row.items()}
+            for row in tables.goto
+        ],
+    }
+
+
+def tables_from_dict(
+    data: dict[str, Any], allow_conflicts: bool = False
+) -> tuple[ParseTables, Grammar]:
+    """Reconstruct tables and a grammar view from :func:`tables_to_dict` output.
+
+    The returned grammar is rebuilt from the serialized productions; it
+    is equivalent to the original for parsing purposes (same productions,
+    same start symbol), though precedence declarations are not preserved
+    (they are already baked into the tables).
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported table format version {data.get('version')!r}")
+    if data.get("conflicts") and not allow_conflicts:
+        raise ValueError(
+            f"serialized tables carry {data['conflicts']} unresolved conflicts; "
+            "pass allow_conflicts=True to load them anyway"
+        )
+
+    productions_raw = data["productions"]
+    user_productions = []
+    for entry in productions_raw[1:]:  # entry 0 is the augmented production
+        rhs = tuple(
+            Nonterminal(name) if kind == "n" else Terminal(name)
+            for kind, name in entry["rhs"]
+        )
+        user_productions.append((Nonterminal(entry["lhs"]), rhs, None))
+    grammar = Grammar(
+        user_productions,
+        start=Nonterminal(data["start"]),
+        name=data.get("grammar", "loaded"),
+    )
+
+    def decode_action(encoded: list[Any]) -> Action:
+        tag = encoded[0]
+        if tag == "s":
+            return Shift(encoded[1])
+        if tag == "r":
+            return Reduce(grammar.productions[encoded[1]])
+        if tag == "a":
+            return Accept()
+        return ErrorAction()
+
+    action = [
+        {Terminal(name): decode_action(encoded) for name, encoded in row.items()}
+        for row in data["action"]
+    ]
+    goto = [
+        {Nonterminal(name): target for name, target in row.items()}
+        for row in data["goto"]
+    ]
+    tables = ParseTables(action=action, goto=goto, conflicts=[])
+    return tables, grammar
+
+
+def dump_tables(automaton: LALRAutomaton) -> str:
+    """Serialize the automaton's tables to JSON text."""
+    return json.dumps(tables_to_dict(automaton), indent=1, sort_keys=True)
+
+
+def load_tables(text: str, allow_conflicts: bool = False) -> tuple[ParseTables, Grammar]:
+    """Inverse of :func:`dump_tables`."""
+    return tables_from_dict(json.loads(text), allow_conflicts=allow_conflicts)

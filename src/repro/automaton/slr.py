@@ -1,0 +1,50 @@
+"""SLR(1) lookaheads: the coarse approximation LALR improves on.
+
+SLR(1) uses ``FOLLOW(A)`` as the lookahead set of every reduce item
+``A -> α .``. The library exposes this both to offer SLR tables and to
+support tests of the containment chain
+
+    canonical LR(1) lookaheads  ⊆  LALR(1) lookaheads  ⊆  SLR(1) lookaheads
+
+(per LR(0) core) on arbitrary grammars.
+"""
+
+from __future__ import annotations
+
+from repro.automaton.items import Item
+from repro.automaton.lr0 import LR0Automaton
+from repro.grammar import GrammarAnalysis, Nonterminal, Terminal
+
+
+def compute_slr_lookaheads(
+    automaton: LR0Automaton, analysis: GrammarAnalysis
+) -> dict[tuple[int, Item], frozenset[Terminal]]:
+    """SLR(1) lookahead sets for every reduce item of every state."""
+    lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = {}
+    for state in automaton.states:
+        for item in state.items:
+            if item.at_end:
+                lhs = item.production.lhs
+                assert isinstance(lhs, Nonterminal)
+                lookaheads[(state.id, item)] = analysis.follow[lhs]
+    return lookaheads
+
+
+def count_slr_conflicts(
+    automaton: LR0Automaton, analysis: GrammarAnalysis
+) -> int:
+    """Number of (state, terminal) pairs with an SLR conflict."""
+    lookaheads = compute_slr_lookaheads(automaton, analysis)
+    conflicts = 0
+    for state in automaton.states:
+        reducers: dict[Terminal, int] = {}
+        for item in state.items:
+            if not item.at_end or item.production.index == 0:
+                continue
+            for terminal in lookaheads[(state.id, item)]:
+                reducers[terminal] = reducers.get(terminal, 0) + 1
+        for terminal, count in reducers.items():
+            has_shift = terminal in state.transitions
+            if count > 1 or (count >= 1 and has_shift):
+                conflicts += 1
+    return conflicts

@@ -1,0 +1,193 @@
+"""ACTION/GOTO parse tables with precedence-based conflict resolution.
+
+Table construction follows yacc/CUP conventions:
+
+* a shift/reduce conflict on terminal ``t`` is resolved silently when both
+  the production and ``t`` carry precedence: the higher level wins; on a
+  tie, left associativity reduces, right associativity shifts, and
+  nonassociativity turns the entry into an error;
+* anything unresolved becomes a :class:`~repro.automaton.conflicts.Conflict`
+  and falls back to the yacc defaults (shift beats reduce; the
+  earlier-declared production beats the later one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.automaton.conflicts import Conflict, ConflictKind
+from repro.automaton.items import Item
+from repro.grammar import (
+    END_OF_INPUT,
+    Associativity,
+    Nonterminal,
+    Production,
+    Terminal,
+)
+
+
+@dataclass(frozen=True)
+class Shift:
+    """Shift the terminal and move to ``state_id``."""
+
+    state_id: int
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Reduce by *production*."""
+
+    production: Production
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Accept the input."""
+
+
+@dataclass(frozen=True)
+class ErrorAction:
+    """An explicit error entry created by a %nonassoc tie."""
+
+
+Action = Union[Shift, Reduce, Accept, ErrorAction]
+
+
+@dataclass
+class ParseTables:
+    """ACTION and GOTO tables plus the unresolved conflicts."""
+
+    action: list[dict[Terminal, Action]]
+    goto: list[dict[Nonterminal, int]]
+    conflicts: list[Conflict]
+    resolved_count: int = 0
+
+    def action_for(self, state_id: int, terminal: Terminal) -> Action | None:
+        return self.action[state_id].get(terminal)
+
+    def goto_for(self, state_id: int, nonterminal: Nonterminal) -> int | None:
+        return self.goto[state_id].get(nonterminal)
+
+
+def _resolve_shift_reduce(
+    automaton, terminal: Terminal, production: Production
+) -> str | None:
+    """Apply precedence declarations.
+
+    Returns ``"shift"``, ``"reduce"``, or ``"error"`` when the declarations
+    decide the conflict, and ``None`` when they do not.
+    """
+    precedence = automaton.grammar.precedence
+    terminal_level = precedence.level_of(terminal)
+    production_level = precedence.production_level(
+        production.rhs, production.prec_override
+    )
+    if terminal_level is None or production_level is None:
+        return None
+    if production_level.rank > terminal_level.rank:
+        return "reduce"
+    if production_level.rank < terminal_level.rank:
+        return "shift"
+    if terminal_level.associativity is Associativity.LEFT:
+        return "reduce"
+    if terminal_level.associativity is Associativity.RIGHT:
+        return "shift"
+    return "error"
+
+
+def build_tables(automaton) -> ParseTables:
+    """Construct parse tables for a :class:`~repro.automaton.lalr.LALRAutomaton`."""
+    grammar = automaton.grammar
+    num_states = len(automaton.states)
+    action: list[dict[Terminal, Action]] = [{} for _ in range(num_states)]
+    goto: list[dict[Nonterminal, int]] = [{} for _ in range(num_states)]
+    conflicts: list[Conflict] = []
+    resolved = 0
+
+    accept_item = Item(grammar.start_production, 1)  # START' -> S . $
+
+    for state in automaton.states:
+        # Transitions: shifts and gotos.
+        for symbol, target in state.transitions.items():
+            if symbol.is_terminal:
+                assert isinstance(symbol, Terminal)
+                if symbol == END_OF_INPUT and accept_item in state.items:
+                    action[state.id][symbol] = Accept()
+                else:
+                    action[state.id][symbol] = Shift(target.id)
+            else:
+                assert isinstance(symbol, Nonterminal)
+                goto[state.id][symbol] = target.id
+
+        # Reductions, with conflict detection.
+        reduce_items = [
+            item
+            for item in state.items
+            if item.at_end and item.production.index != 0
+        ]
+        reducers: dict[Terminal, list[Item]] = {}
+        for item in reduce_items:
+            for terminal in automaton.lookahead(state, item):
+                reducers.setdefault(terminal, []).append(item)
+
+        for terminal, items in sorted(reducers.items(), key=lambda kv: str(kv[0])):
+            existing = action[state.id].get(terminal)
+            shift_items = _find_shift_items(state, terminal)
+
+            # Reduce/reduce conflicts: every pair of distinct reduce items.
+            for first_index in range(len(items)):
+                for second_index in range(first_index + 1, len(items)):
+                    conflicts.append(
+                        Conflict(
+                            state_id=state.id,
+                            terminal=terminal,
+                            kind=ConflictKind.REDUCE_REDUCE,
+                            reduce_item=items[first_index],
+                            other_item=items[second_index],
+                        )
+                    )
+
+            # Pick the earliest production for the reduce entry (yacc default).
+            chosen = min(items, key=lambda item: item.production.index)
+
+            if isinstance(existing, (Shift, Accept)) and shift_items:
+                resolution = _resolve_shift_reduce(
+                    automaton, terminal, chosen.production
+                )
+                if resolution is None:
+                    # Unresolved: record a conflict per (reduce item, shift
+                    # item) pair, as the paper does (figure 7 counts two
+                    # conflicts for one reduce item against two shift
+                    # items); the shift wins by default.
+                    for item in items:
+                        for shift_item in shift_items:
+                            conflicts.append(
+                                Conflict(
+                                    state_id=state.id,
+                                    terminal=terminal,
+                                    kind=ConflictKind.SHIFT_REDUCE,
+                                    reduce_item=item,
+                                    other_item=shift_item,
+                                )
+                            )
+                elif resolution == "reduce":
+                    action[state.id][terminal] = Reduce(chosen.production)
+                    resolved += 1
+                elif resolution == "error":
+                    action[state.id][terminal] = ErrorAction()
+                    resolved += 1
+                else:  # Shift wins; keep the existing entry.
+                    resolved += 1
+            elif existing is None:
+                action[state.id][terminal] = Reduce(chosen.production)
+
+    conflicts.sort(key=lambda c: (c.state_id, str(c.terminal)))
+    return ParseTables(
+        action=action, goto=goto, conflicts=conflicts, resolved_count=resolved
+    )
+
+
+def _find_shift_items(state, terminal: Terminal) -> list[Item]:
+    """All shift items of *state* whose next symbol is *terminal*."""
+    return [item for item in state.items if item.next_symbol == terminal]

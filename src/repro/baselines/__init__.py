@@ -1,0 +1,22 @@
+"""Baselines the paper compares against: enumeration, prior PPG, CUP2."""
+
+from repro.baselines.bruteforce import (
+    BruteForceDetector,
+    BruteForceResult,
+    find_ambiguity,
+)
+from repro.baselines.cup2 import CUP2Baseline, CUP2Report
+from repro.baselines.filtered import FilteredBruteForce, FilteredResult
+from repro.baselines.ppg import PPGBaseline, PPGCounterexample
+
+__all__ = [
+    "BruteForceDetector",
+    "BruteForceResult",
+    "CUP2Baseline",
+    "CUP2Report",
+    "FilteredBruteForce",
+    "FilteredResult",
+    "PPGBaseline",
+    "PPGCounterexample",
+    "find_ambiguity",
+]

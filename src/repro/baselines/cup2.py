@@ -1,0 +1,69 @@
+"""The CUP2 baseline: report only the shortest path to the conflict state.
+
+CUP2 (§8) reports the plain shortest path of parser *states* leading to
+the conflict state — no items, no lookaheads, no completion. This is the
+weakest of the related tools and serves as the floor in the effectiveness
+comparison: it is fast but, like prior PPG, its reports can be
+misleading, and they never explain what happens *after* the conflict
+point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automaton.conflicts import Conflict
+from repro.automaton.lalr import LALRAutomaton
+from repro.grammar import Symbol
+
+
+@dataclass(frozen=True)
+class CUP2Report:
+    """The shortest state path to a conflict state."""
+
+    conflict: Conflict
+    states: tuple[int, ...]
+    symbols: tuple[Symbol, ...]
+
+    def display(self) -> str:
+        text = " ".join(str(s) for s in self.symbols)
+        return f"shortest path to state #{self.conflict.state_id}: {text}"
+
+
+class CUP2Baseline:
+    """Shortest state-path reports, CUP2-style."""
+
+    def __init__(self, automaton: LALRAutomaton) -> None:
+        self.automaton = automaton
+
+    def report(self, conflict: Conflict) -> CUP2Report:
+        """Breadth-first shortest path from state 0 to the conflict state."""
+        target = conflict.state_id
+        parents: dict[int, tuple[int, Symbol]] = {}
+        queue = deque([0])
+        seen = {0}
+        while queue:
+            state_id = queue.popleft()
+            if state_id == target:
+                break
+            for symbol, successor in self.automaton.states[state_id].transitions.items():
+                if successor.id not in seen:
+                    seen.add(successor.id)
+                    parents[successor.id] = (state_id, symbol)
+                    queue.append(successor.id)
+        else:
+            raise RuntimeError(f"conflict state {target} unreachable")
+
+        states = [target]
+        symbols: list[Symbol] = []
+        current = target
+        while current != 0:
+            current, symbol = parents[current]
+            states.append(current)
+            symbols.append(symbol)
+        states.reverse()
+        symbols.reverse()
+        return CUP2Report(
+            conflict=conflict, states=tuple(states), symbols=tuple(symbols)
+        )

@@ -1,0 +1,135 @@
+"""The prior-PPG baseline: counterexamples that ignore lookaheads (§7.2).
+
+Before adopting the paper's algorithm, the Polyglot Parser Generator
+attempted nonunifying counterexamples by walking the *plain* shortest
+path to the conflict state — without tracking which terminals can
+actually follow the current production. §7.2 shows this produces
+misleading counterexamples on ten of the benchmark grammars; for the
+dangling else it reports::
+
+    if expr then stmt •
+
+which is not a valid counterexample, because at that point the conflict
+terminal ``else`` cannot actually follow the reduction — with ``else``
+next, only the shift is viable; the example never exhibits the choice.
+
+:class:`PPGBaseline` reimplements that flawed strategy faithfully so the
+benchmark can quantify how often it misleads, using the paper's own
+validity criterion: a counterexample is *valid* iff the conflict terminal
+can follow the reduce item's production in the derived context, i.e. the
+prefix is a viable exhibit of the conflict. Validity is checked against
+the lookahead-sensitive machinery of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automaton.conflicts import Conflict
+from repro.automaton.items import Item
+from repro.automaton.lalr import LALRAutomaton
+from repro.core.derivation import DOT, format_symbols
+from repro.core.lasg import LookaheadSensitiveGraph
+from repro.grammar import Symbol
+
+
+@dataclass(frozen=True)
+class PPGCounterexample:
+    """A lookahead-ignoring counterexample: a path prefix plus the items."""
+
+    conflict: Conflict
+    prefix: tuple[Symbol, ...]
+
+    def display(self) -> str:
+        return format_symbols(self.prefix + (DOT,))
+
+
+class PPGBaseline:
+    """Shortest-path counterexamples that ignore lookahead sets."""
+
+    def __init__(self, automaton: LALRAutomaton) -> None:
+        self.automaton = automaton
+        self._graph = LookaheadSensitiveGraph(automaton)
+
+    # ------------------------------------------------------------------ #
+
+    def counterexample(self, conflict: Conflict) -> PPGCounterexample:
+        """The lookahead-ignoring counterexample for *conflict*.
+
+        Finds the shortest walk over ``(state, item)`` pairs — transitions
+        and production steps, but with no lookahead component — from the
+        start item to the conflict's reduce item.
+        """
+        start = (0, self.automaton.start_item)
+        target = (conflict.state_id, conflict.reduce_item)
+
+        parents: dict[tuple[int, Item], tuple[tuple[int, Item], Symbol | None]] = {}
+        queue: deque[tuple[int, Item]] = deque([start])
+        seen = {start}
+        while queue:
+            node = queue.popleft()
+            if node == target:
+                break
+            state_id, item = node
+            symbol = item.next_symbol
+            if symbol is None:
+                continue
+            state = self.automaton.states[state_id]
+            successor = (state.transitions[symbol].id, item.advance())
+            if successor not in seen:
+                seen.add(successor)
+                parents[successor] = (node, symbol)
+                queue.append(successor)
+            if symbol.is_nonterminal:
+                for production in self.automaton.grammar.productions_of(symbol):
+                    closure_node = (state_id, Item(production, 0))
+                    if closure_node not in seen:
+                        seen.add(closure_node)
+                        parents[closure_node] = (node, None)
+                        queue.append(closure_node)
+        else:
+            raise RuntimeError(f"conflict item unreachable: {conflict}")
+
+        prefix: list[Symbol] = []
+        node = target
+        while node != start:
+            node, symbol = parents[node]
+            if symbol is not None:
+                prefix.append(symbol)
+        prefix.reverse()
+        return PPGCounterexample(conflict=conflict, prefix=tuple(prefix))
+
+    # ------------------------------------------------------------------ #
+
+    def is_valid(self, counterexample: PPGCounterexample) -> bool:
+        """Whether the reported prefix genuinely exhibits the conflict.
+
+        The criterion is the paper's: the walk must be extendable to a
+        *lookahead-sensitive* path — the conflict terminal must be able
+        to follow the reduce item's production in the context the prefix
+        sets up. We check it by re-running the walk with precise
+        lookahead sets: the counterexample is valid iff some
+        lookahead-sensitive path to the conflict item produces the same
+        prefix.
+        """
+        conflict = counterexample.conflict
+        try:
+            path = self._graph.shortest_path(conflict)
+        except RuntimeError:
+            return False
+        from repro.core.lasg import path_prefix_symbols
+
+        # The PPG prefix is valid only if it is at least as long as the
+        # shortest lookahead-sensitive prefix and ends in the same state
+        # with the conflict terminal viable. A shorter prefix means the
+        # lookahead constraint is violated — the misleading case.
+        return len(counterexample.prefix) >= len(path_prefix_symbols(path))
+
+    def misleading_conflicts(self) -> list[Conflict]:
+        """All conflicts for which the PPG-style counterexample is invalid."""
+        return [
+            conflict
+            for conflict in self.automaton.conflicts
+            if not self.is_valid(self.counterexample(conflict))
+        ]

@@ -1,0 +1,148 @@
+"""Command-line interface: explain a grammar's conflicts, CUP-style.
+
+Usage::
+
+    repro-conflicts GRAMMAR.y [options]
+    python -m repro GRAMMAR.y [options]
+    python -m repro --corpus figure1
+
+Prints one report per conflict, in the format of the paper's Figure 11.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.automaton import build_lalr
+from repro.core import CounterexampleFinder, format_report
+from repro.grammar import GrammarError, load_grammar_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-conflicts",
+        description=(
+            "Explain every LALR parsing conflict in a grammar with a "
+            "unifying or nonunifying counterexample "
+            "(Isradisaikul & Myers, PLDI 2015)."
+        ),
+    )
+    parser.add_argument("grammar", nargs="?", help="grammar file (yacc-like syntax)")
+    parser.add_argument(
+        "--corpus",
+        metavar="NAME",
+        help="analyse a built-in corpus grammar (e.g. figure1, SQL.2) instead",
+    )
+    parser.add_argument(
+        "--list-corpus", action="store_true", help="list corpus grammar names"
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-conflict unifying-search budget (default: 5, as in the paper)",
+    )
+    parser.add_argument(
+        "--cumulative-limit",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="total unifying-search budget (default: 120, as in the paper)",
+    )
+    parser.add_argument(
+        "--extendedsearch",
+        action="store_true",
+        help="do not restrict the search to the shortest lookahead-sensitive path",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the independent Earley validation of unifying counterexamples",
+    )
+    parser.add_argument(
+        "--states",
+        action="store_true",
+        help="also print the LALR automaton (states, items, lookaheads)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print structural grammar metrics before the conflict reports",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_corpus:
+        from repro.corpus import all_specs
+
+        for spec in all_specs():
+            marker = "ambiguous" if spec.ambiguous else "unambiguous"
+            print(f"{spec.name:16} [{spec.category}] {marker}  {spec.notes}")
+        return 0
+
+    if args.corpus:
+        from repro.corpus import load as load_corpus
+
+        try:
+            grammar = load_corpus(args.corpus)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.grammar:
+        try:
+            grammar = load_grammar_file(args.grammar)
+        except (OSError, GrammarError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        print("error: provide a grammar file or --corpus NAME", file=sys.stderr)
+        return 2
+
+    if args.metrics:
+        from repro.grammar import GrammarMetrics
+
+        print(f"metrics: {GrammarMetrics.of(grammar).describe()}")
+
+    automaton = build_lalr(grammar)
+    if args.states:
+        print(automaton)
+
+    conflicts = automaton.conflicts
+    if not conflicts:
+        print(f"grammar {grammar.name!r}: no conflicts — LALR(1)")
+        return 0
+
+    finder = CounterexampleFinder(
+        automaton,
+        time_limit=args.time_limit,
+        cumulative_limit=args.cumulative_limit,
+        extended_search=args.extendedsearch,
+        verify=not args.no_verify,
+    )
+    started = time.monotonic()
+    summary = finder.explain_all()
+    elapsed = time.monotonic() - started
+
+    if not args.quiet:
+        for report in summary.reports:
+            print(format_report(report))
+            print()
+    print(
+        f"grammar {grammar.name!r}: {summary.num_conflicts} conflicts — "
+        f"{summary.num_unifying} unifying, {summary.num_nonunifying} nonunifying, "
+        f"{summary.num_timeout} timed out ({elapsed:.2f}s)"
+    )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

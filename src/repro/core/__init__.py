@@ -1,0 +1,55 @@
+"""The paper's contribution: counterexamples for parsing conflicts."""
+
+from repro.core.configurations import (
+    Configuration,
+    SuccessorGenerator,
+    initial_configuration,
+)
+from repro.core.counterexample import Counterexample
+from repro.core.derivation import DOT, Derivation, dleaf, dnode, format_symbols
+from repro.core.finder import (
+    CounterexampleFinder,
+    FinderReport,
+    FinderSummary,
+    explain_conflicts,
+)
+from repro.core.lasg import (
+    LASGEdge,
+    LASGVertex,
+    LookaheadSensitiveGraph,
+    path_prefix_symbols,
+    path_states,
+)
+from repro.core.nonunifying import CompletionError, NonunifyingBuilder
+from repro.core.product import ProductAction, ProductParser
+from repro.core.report import format_report
+from repro.core.search import SearchResult, SearchStats, UnifyingSearch
+
+__all__ = [
+    "CompletionError",
+    "Configuration",
+    "Counterexample",
+    "CounterexampleFinder",
+    "DOT",
+    "Derivation",
+    "FinderReport",
+    "FinderSummary",
+    "LASGEdge",
+    "LASGVertex",
+    "LookaheadSensitiveGraph",
+    "NonunifyingBuilder",
+    "ProductAction",
+    "ProductParser",
+    "SearchResult",
+    "SearchStats",
+    "SuccessorGenerator",
+    "UnifyingSearch",
+    "dleaf",
+    "dnode",
+    "explain_conflicts",
+    "format_report",
+    "format_symbols",
+    "initial_configuration",
+    "path_prefix_symbols",
+    "path_states",
+]

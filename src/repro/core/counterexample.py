@@ -1,0 +1,90 @@
+"""Counterexample result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automaton.conflicts import Conflict
+from repro.core.derivation import DOT, Derivation, format_symbols
+from repro.grammar import Nonterminal, Symbol
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A counterexample explaining one parsing conflict.
+
+    Attributes:
+        conflict: The conflict being explained.
+        unifying: ``True`` when both derivations derive the *same*
+            sentential form from the same nonterminal — a proof of
+            ambiguity. ``False`` for a nonunifying counterexample: the
+            two derivations share a prefix up to the conflict point but
+            may diverge after it.
+        nonterminal: The unifying nonterminal (for unifying examples) or
+            the derivation root (for nonunifying ones).
+        derivation1: The derivation using the conflict's *reduce* item.
+        derivation2: The derivation using the conflict's shift item (or
+            second reduce item for reduce/reduce conflicts).
+        timed_out: Whether the unifying search timed out before this
+            (necessarily nonunifying) counterexample was produced.
+        search_cost: Internal search cost, recorded for benchmarks.
+    """
+
+    conflict: Conflict
+    unifying: bool
+    nonterminal: Nonterminal | None
+    derivation1: Derivation
+    derivation2: Derivation
+    timed_out: bool = False
+    search_cost: float = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def example1(self) -> tuple[object, ...]:
+        """Yield of the reduce-item derivation (symbols and the dot marker)."""
+        return self.derivation1.yield_symbols()
+
+    def example2(self) -> tuple[object, ...]:
+        """Yield of the other derivation."""
+        return self.derivation2.yield_symbols()
+
+    def example1_symbols(self) -> tuple[Symbol, ...]:
+        """Yield of the reduce-item derivation without the dot marker."""
+        return tuple(s for s in self.example1() if s is not DOT)  # type: ignore[misc]
+
+    def example2_symbols(self) -> tuple[Symbol, ...]:
+        return tuple(s for s in self.example2() if s is not DOT)  # type: ignore[misc]
+
+    def prefix(self) -> tuple[Symbol, ...]:
+        """The common prefix up to the conflict point."""
+        result: list[Symbol] = []
+        for element in self.example1():
+            if element is DOT:
+                break
+            result.append(element)  # type: ignore[arg-type]
+        return tuple(result)
+
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """Multi-line, human-oriented description (see also repro.core.report)."""
+        lines: list[str] = []
+        if self.unifying:
+            lines.append(f"Ambiguity detected for nonterminal {self.nonterminal}")
+            lines.append(f"Example: {format_symbols(self.example1())}")
+            lines.append("Derivation using reduction:")
+            lines.append(f"  {self.derivation1.render()}")
+            lines.append("Derivation using shift:" if self.conflict.is_shift_reduce
+                         else "Derivation using second reduction:")
+            lines.append(f"  {self.derivation2.render()}")
+        else:
+            lines.append(f"Example using reduction: {format_symbols(self.example1())}")
+            lines.append(f"  derivation: {self.derivation1.render()}")
+            second = "shift" if self.conflict.is_shift_reduce else "second reduction"
+            lines.append(f"Example using {second}: {format_symbols(self.example2())}")
+            lines.append(f"  derivation: {self.derivation2.render()}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        kind = "unifying" if self.unifying else "nonunifying"
+        return f"<{kind} counterexample: {format_symbols(self.example1())}>"

@@ -1,0 +1,176 @@
+"""Derivation trees for counterexamples.
+
+A :class:`Derivation` is like a parse tree, except that
+
+* leaves may be *nonterminals* — counterexamples keep symbols abstract
+  whenever the concrete expansion is irrelevant to the conflict (§3.2);
+* a special **dot marker** (:data:`DOT`) records the conflict point in the
+  yield, rendered as ``•``.
+
+The final counterexample string is the yield of a derivation; for a
+unifying counterexample the two derivations have identical yields, and for
+a nonunifying counterexample the yields share a prefix up to the dot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.grammar import END_OF_INPUT, Production, Symbol
+from repro.parsing.tree import ParseTree, leaf as tree_leaf, node as tree_node
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A derivation node.
+
+    ``children is None`` marks an *unexpanded* leaf: the symbol stands for
+    itself (any derivation of it would do). Otherwise the node expands
+    *symbol* by *production* into *children*, which may include the
+    :data:`DOT` marker in addition to one sub-derivation per right-hand
+    side symbol.
+
+    Hashes are cached bottom-up at construction (deep derivations arise
+    during long searches; hashing must not recurse).
+    """
+
+    symbol: Symbol | None
+    children: tuple["Derivation", ...] | None = None
+    production: Production | None = None
+
+    def __post_init__(self) -> None:
+        child_hashes = (
+            None
+            if self.children is None
+            else tuple(child._hash for child in self.children)  # type: ignore[attr-defined]
+        )
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.symbol,
+                    child_hashes,
+                    None if self.production is None else self.production.index,
+                )
+            ),
+        )
+
+    @property
+    def is_dot(self) -> bool:
+        return self.symbol is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None and self.symbol is not None
+
+    def yield_symbols(self, keep_dot: bool = True) -> tuple[object, ...]:
+        """The leaf sequence; the dot appears as the :data:`DOT` object."""
+        result: list[object] = []
+        for element in self._walk_leaves():
+            if element.is_dot:
+                if keep_dot:
+                    result.append(DOT)
+            else:
+                result.append(element.symbol)
+        return tuple(result)
+
+    def _walk_leaves(self) -> Iterator["Derivation"]:
+        stack: list[Derivation] = [self]
+        while stack:
+            node = stack.pop()
+            if node.children is None:
+                yield node
+            else:
+                stack.extend(reversed(node.children))
+
+    # ------------------------------------------------------------------ #
+
+    def to_parse_tree(self) -> ParseTree:
+        """Convert to a :class:`~repro.parsing.tree.ParseTree`, dropping the dot."""
+        if self.is_dot:
+            raise ValueError("the dot marker alone has no parse tree")
+        if self.children is None:
+            assert self.symbol is not None
+            return tree_leaf(self.symbol)
+        assert self.production is not None
+        children = [
+            child.to_parse_tree() for child in self.children if not child.is_dot
+        ]
+        return tree_node(self.production, children)
+
+    def size(self) -> int:
+        """Number of non-dot nodes (iterative — derivations can be deep)."""
+        count = 0
+        stack: list[Derivation] = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_dot:
+                continue
+            count += 1
+            if node.children is not None:
+                stack.extend(node.children)
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Rendering (paper Figure 11 style)
+
+    def render(self) -> str:
+        """Nested bracket rendering: ``expr ::= [expr ::= [expr • + expr] + expr]``."""
+        if self.is_dot:
+            return "•"
+        if self.children is None:
+            return str(self.symbol)
+        inner = " ".join(child.render() for child in self.children)
+        return f"{self.symbol} ::= [{inner}]"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# Replace the dataclass-generated recursive hash with the cached one.
+Derivation.__hash__ = lambda self: self._hash  # type: ignore[method-assign, attr-defined]
+
+#: The conflict-point marker.
+DOT = Derivation(None)
+
+
+def dleaf(symbol: Symbol) -> Derivation:
+    """An unexpanded leaf derivation."""
+    return Derivation(symbol)
+
+
+def dnode(production: Production, children: Sequence[Derivation]) -> Derivation:
+    """An expansion node applying *production*.
+
+    *children* must contain exactly one non-dot entry per right-hand-side
+    symbol, in order, with the dot marker allowed anywhere.
+    """
+    real = [child for child in children if not child.is_dot]
+    if len(real) != len(production.rhs):
+        raise ValueError(
+            f"production {production} expects {len(production.rhs)} children, "
+            f"got {len(real)}"
+        )
+    for child, expected in zip(real, production.rhs):
+        if child.symbol != expected:
+            raise ValueError(
+                f"child {child.symbol} does not match {expected} in {production}"
+            )
+    return Derivation(production.lhs, tuple(children), production)
+
+
+def format_symbols(elements: Sequence[object], hide_eof: bool = True) -> str:
+    """Render a yield (symbols and the dot marker) as one line."""
+    parts: list[str] = []
+    for element in elements:
+        if element is DOT:
+            parts.append("•")
+        elif isinstance(element, Derivation):
+            parts.append("•" if element.is_dot else str(element.symbol))
+        else:
+            if hide_eof and element == END_OF_INPUT:
+                continue
+            parts.append(str(element))
+    return " ".join(parts)

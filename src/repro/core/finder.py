@@ -1,0 +1,225 @@
+"""Top-level counterexample finder (paper §6 policy).
+
+For each conflict:
+
+1. compute the shortest lookahead-sensitive path to the conflict reduce
+   item (needed both for the nonunifying construction and to restrict the
+   unifying search's reverse transitions);
+2. run the unifying search with a per-conflict time limit (default 5 s);
+3. on success, optionally cross-check the counterexample with the
+   independent Earley oracle (the sentential form must have >= 2 distinct
+   derivations from the unifying nonterminal);
+4. on failure or timeout, fall back to a nonunifying counterexample built
+   from the path.
+
+A cumulative budget (default 2 minutes) covers all unifying searches for
+one grammar; once it is spent, remaining conflicts get nonunifying
+counterexamples immediately, as in the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.automaton.conflicts import Conflict
+from repro.automaton.lalr import LALRAutomaton, build_lalr
+from repro.core.counterexample import Counterexample
+from repro.core.lasg import LookaheadSensitiveGraph, path_states
+from repro.core.nonunifying import NonunifyingBuilder
+from repro.core.search import SearchStats, UnifyingSearch
+from repro.grammar import Grammar
+from repro.parsing.earley import EarleyParser
+
+
+@dataclass
+class FinderReport:
+    """Everything the finder knows about one conflict's explanation."""
+
+    conflict: Conflict
+    counterexample: Counterexample
+    unifying_time: float
+    timed_out: bool
+    stats: SearchStats | None = None
+    verified: bool | None = None
+
+
+@dataclass
+class FinderSummary:
+    """Aggregate results for a grammar (the columns of Table 1)."""
+
+    grammar_name: str
+    num_conflicts: int = 0
+    num_unifying: int = 0
+    num_nonunifying: int = 0
+    num_timeout: int = 0
+    #: Conflicts answered nonunifying *without* running the unifying
+    #: search because the cumulative budget was already spent — the
+    #: parenthesised count in the paper's Table 1 (e.g. Java.2's "(983)").
+    num_skipped_search: int = 0
+    total_time: float = 0.0
+    reports: list[FinderReport] = field(default_factory=list)
+
+    @property
+    def average_time(self) -> float:
+        """Paper's "Average time": total over conflicts answered in time."""
+        answered = self.num_unifying + self.num_nonunifying
+        return self.total_time / answered if answered else float("nan")
+
+
+class CounterexampleFinder:
+    """Finds a counterexample for every conflict of a grammar."""
+
+    def __init__(
+        self,
+        source: Grammar | LALRAutomaton,
+        time_limit: float = 5.0,
+        cumulative_limit: float = 120.0,
+        extended_search: bool = False,
+        verify: bool = True,
+        max_configurations: int = 2_000_000,
+    ) -> None:
+        """
+        Args:
+            source: A grammar or a prebuilt automaton.
+            time_limit: Per-conflict unifying-search budget in seconds
+                (the paper uses 5 s).
+            cumulative_limit: Total unifying-search budget per grammar
+                (the paper uses 2 minutes).
+            extended_search: Do not restrict reverse transitions to the
+                shortest lookahead-sensitive path (``-extendedsearch``).
+            verify: Cross-check unifying counterexamples with the Earley
+                oracle; unverifiable candidates are demoted to the
+                nonunifying fallback.
+            max_configurations: Hard cap per unifying search.
+        """
+        if isinstance(source, LALRAutomaton):
+            self.automaton = source
+        else:
+            self.automaton = build_lalr(source)
+        self.grammar = self.automaton.grammar
+        self.time_limit = time_limit
+        self.cumulative_limit = cumulative_limit
+        self.extended_search = extended_search
+        self.verify = verify
+        self.max_configurations = max_configurations
+
+        self.graph = LookaheadSensitiveGraph(self.automaton)
+        self.nonunifying = NonunifyingBuilder(self.automaton)
+        self._earley = EarleyParser(self.grammar)
+        self._unifying_budget_spent = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def conflicts(self) -> list[Conflict]:
+        return self.automaton.conflicts
+
+    def explain(self, conflict: Conflict) -> FinderReport:
+        """Produce a counterexample for one conflict."""
+        started = time.monotonic()
+        path = self.graph.shortest_path(conflict)
+
+        budget_left = self.cumulative_limit - self._unifying_budget_spent
+        stats: SearchStats | None = None
+        timed_out = False
+        counterexample: Counterexample | None = None
+        verified: bool | None = None
+
+        if budget_left > 0:
+            allowed = None if self.extended_search else path_states(path)
+            search = UnifyingSearch(
+                self.automaton,
+                conflict,
+                allowed_prepend_states=allowed,
+                time_limit=min(self.time_limit, budget_left),
+                max_configurations=self.max_configurations,
+            )
+            result = search.run()
+            stats = result.stats
+            self._unifying_budget_spent += stats.elapsed
+            timed_out = stats.timed_out
+            if result.counterexample is not None:
+                candidate = result.counterexample
+                if self.verify:
+                    verified = self._verify(candidate)
+                    if verified:
+                        counterexample = candidate
+                else:
+                    counterexample = candidate
+
+        if counterexample is None:
+            counterexample = self.nonunifying.build(conflict, path=path)
+            if timed_out:
+                counterexample = Counterexample(
+                    conflict=counterexample.conflict,
+                    unifying=False,
+                    nonterminal=counterexample.nonterminal,
+                    derivation1=counterexample.derivation1,
+                    derivation2=counterexample.derivation2,
+                    timed_out=True,
+                )
+
+        return FinderReport(
+            conflict=conflict,
+            counterexample=counterexample,
+            unifying_time=time.monotonic() - started,
+            timed_out=timed_out,
+            stats=stats,
+            verified=verified,
+        )
+
+    def explain_all(self) -> FinderSummary:
+        """Explain every conflict; aggregates the Table 1 statistics."""
+        summary = FinderSummary(grammar_name=self.grammar.name)
+        for conflict in self.conflicts:
+            report = self.explain(conflict)
+            summary.reports.append(report)
+            summary.num_conflicts += 1
+            if report.counterexample.unifying:
+                summary.num_unifying += 1
+            elif report.timed_out:
+                summary.num_timeout += 1
+            else:
+                summary.num_nonunifying += 1
+                if report.stats is None:
+                    summary.num_skipped_search += 1
+            if not report.timed_out:
+                summary.total_time += report.unifying_time
+        return summary
+
+    # ------------------------------------------------------------------ #
+
+    def _verify(self, candidate: Counterexample) -> bool:
+        """Independent validation of a unifying counterexample.
+
+        Checks that both derivations yield the same sentential form and
+        that the Earley oracle finds at least two derivations of it from
+        the unifying nonterminal.
+        """
+        yield1 = candidate.example1_symbols()
+        yield2 = candidate.example2_symbols()
+        if yield1 != yield2:
+            return False
+        nonterminal = candidate.nonterminal
+        assert nonterminal is not None
+        return self._earley.is_ambiguous_form(nonterminal, yield1)
+
+
+def explain_conflicts(
+    grammar: Grammar,
+    time_limit: float = 5.0,
+    cumulative_limit: float = 120.0,
+    extended_search: bool = False,
+) -> list[str]:
+    """Convenience wrapper: formatted CUP-style reports for every conflict."""
+    from repro.core.report import format_report
+
+    finder = CounterexampleFinder(
+        grammar,
+        time_limit=time_limit,
+        cumulative_limit=cumulative_limit,
+        extended_search=extended_search,
+    )
+    summary = finder.explain_all()
+    return [format_report(report) for report in summary.reports]

@@ -1,0 +1,197 @@
+"""The lookahead-sensitive graph and its shortest paths (paper §4).
+
+A vertex is a triple ``(state, item, L)`` where ``L`` is a *precise*
+lookahead set — the terminals that actually can follow the current
+production in this context. Edges:
+
+* **transition**: mirrors a parser transition, preserving ``L``;
+* **production step**: enters a production of the nonterminal after the
+  dot, replacing ``L`` by ``follow_L(item)``, the paper's precise follow
+  set (``first_of_sequence`` of the rest of the production, with ``L``
+  when that rest is nullable).
+
+A *shortest lookahead-sensitive path* from the start vertex
+``(s0, START' -> . S $, {$})`` to a conflict vertex — the conflict state
+and reduce item, with the conflict terminal in ``L`` — provides the prefix
+of a counterexample that genuinely carries the conflict terminal as
+legitimate lookahead. (The shortest path in the plain state graph often
+does not; see the dangling-else discussion in §4.)
+
+As in the paper's implementation, the search is restricted to parser
+states that can reach the conflict item backward, which keeps the graph
+small; vertices are materialised lazily during the breadth-first search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.automaton.conflicts import Conflict
+from repro.automaton.items import Item
+from repro.automaton.lalr import LALRAutomaton
+from repro.grammar import END_OF_INPUT, Nonterminal, Symbol, Terminal
+
+
+@dataclass(frozen=True, slots=True)
+class LASGVertex:
+    """A vertex ``(state, item, precise lookahead set)``."""
+
+    state_id: int
+    item: Item
+    lookahead: frozenset[Terminal]
+
+    def __str__(self) -> str:
+        las = ", ".join(sorted(str(t) for t in self.lookahead))
+        return f"({self.state_id}, {self.item}, {{{las}}})"
+
+
+@dataclass(frozen=True, slots=True)
+class LASGEdge:
+    """An edge of the lookahead-sensitive graph.
+
+    ``symbol`` is the transition symbol, or ``None`` for a production step
+    (rendered ``[prod]`` as in the paper's Figure 5).
+    """
+
+    source: LASGVertex
+    symbol: Symbol | None
+    target: LASGVertex
+
+    @property
+    def is_production_step(self) -> bool:
+        return self.symbol is None
+
+    def __str__(self) -> str:
+        label = "[prod]" if self.symbol is None else str(self.symbol)
+        return f"{self.source} --{label}--> {self.target}"
+
+
+class LookaheadSensitiveGraph:
+    """Lazy lookahead-sensitive graph over an LALR automaton."""
+
+    def __init__(self, automaton: LALRAutomaton) -> None:
+        self.automaton = automaton
+        self.analysis = automaton.analysis
+        self.grammar = automaton.grammar
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def start_vertex(self) -> LASGVertex:
+        """``(s0, START' -> . S $, {$})``."""
+        return LASGVertex(0, self.automaton.start_item, frozenset({END_OF_INPUT}))
+
+    def successors(self, vertex: LASGVertex) -> Iterator[LASGEdge]:
+        """All outgoing edges of *vertex*, created on demand."""
+        item = vertex.item
+        symbol = item.next_symbol
+        if symbol is None:
+            return
+        # Transition edge.
+        state = self.automaton.states[vertex.state_id]
+        target_state = state.transitions[symbol]
+        yield LASGEdge(
+            vertex,
+            symbol,
+            LASGVertex(target_state.id, item.advance(), vertex.lookahead),
+        )
+        # Production-step edges.
+        if symbol.is_nonterminal:
+            assert isinstance(symbol, Nonterminal)
+            follow = self.analysis.precise_follow(
+                item.production, item.dot, vertex.lookahead
+            )
+            for production in self.grammar.productions_of(symbol):
+                yield LASGEdge(
+                    vertex,
+                    None,
+                    LASGVertex(vertex.state_id, Item(production, 0), follow),
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def shortest_path(self, conflict: Conflict) -> list[LASGEdge]:
+        """Shortest lookahead-sensitive path to the conflict reduce item.
+
+        The target is any vertex at the conflict state whose item is the
+        conflict's reduce item and whose precise lookahead set contains
+        the conflict terminal (the reduce item is used because no
+        lookahead information exists for the shift item — footnote 4).
+
+        Returns the edge list from the start vertex; the transition-edge
+        symbols along it form the counterexample prefix. Raises
+        :class:`RuntimeError` if no path exists (which would indicate a
+        bug: LALR conflicts are always reachable).
+        """
+        target_state = self.automaton.states[conflict.state_id]
+        target_item = conflict.reduce_item
+        terminal = conflict.terminal
+
+        # Restrict to (state, item) pairs that can reach the conflict item
+        # (§6 describes a state-level restriction; the pair-level one is a
+        # strictly stronger, equally sound prune).
+        allowed_pairs = self.automaton.lookups.reaching_pairs(
+            target_state, target_item
+        )
+
+        start = self.start_vertex
+        if (start.state_id, start.item) not in allowed_pairs:
+            raise RuntimeError(
+                f"start state cannot reach conflict item {target_item} "
+                f"in state {conflict.state_id}"
+            )
+
+        parents: dict[LASGVertex, LASGEdge] = {}
+        queue: deque[LASGVertex] = deque([start])
+        seen: set[LASGVertex] = {start}
+
+        while queue:
+            vertex = queue.popleft()
+            if (
+                vertex.state_id == conflict.state_id
+                and vertex.item == target_item
+                and terminal in vertex.lookahead
+            ):
+                return self._reconstruct(parents, vertex)
+            for edge in self.successors(vertex):
+                successor = edge.target
+                if (successor.state_id, successor.item) not in allowed_pairs:
+                    continue
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                parents[successor] = edge
+                queue.append(successor)
+
+        raise RuntimeError(
+            f"no lookahead-sensitive path to conflict {conflict} — "
+            "the automaton and its lookahead sets disagree"
+        )
+
+    @staticmethod
+    def _reconstruct(
+        parents: dict[LASGVertex, LASGEdge], vertex: LASGVertex
+    ) -> list[LASGEdge]:
+        path: list[LASGEdge] = []
+        current = vertex
+        while current in parents:
+            edge = parents[current]
+            path.append(edge)
+            current = edge.source
+        path.reverse()
+        return path
+
+
+def path_states(path: list[LASGEdge]) -> frozenset[int]:
+    """The parser states visited by a lookahead-sensitive path."""
+    states = {edge.source.state_id for edge in path}
+    if path:
+        states.add(path[-1].target.state_id)
+    return frozenset(states)
+
+
+def path_prefix_symbols(path: list[LASGEdge]) -> tuple[Symbol, ...]:
+    """The transition symbols along a path: the counterexample prefix."""
+    return tuple(edge.symbol for edge in path if edge.symbol is not None)

@@ -1,0 +1,52 @@
+"""CUP-style conflict reports (paper Figure 11)."""
+
+from __future__ import annotations
+
+from repro.core.derivation import format_symbols
+from repro.core.finder import FinderReport
+
+
+def format_report(report: FinderReport) -> str:
+    """Format one conflict's explanation as in the paper's Figure 11.
+
+    The first lines (the conflict itself) mirror CUP's original message;
+    the rest is the counterexample. Example::
+
+        Warning : *** Shift/Reduce conflict found in state #13
+          between reduction on expr ::= expr + expr •
+          and shift on expr ::= expr • + expr
+          under symbol +
+        Ambiguity detected for nonterminal expr
+        Example: expr + expr • + expr
+        Derivation using reduction:
+          expr ::= [expr ::= [expr + expr •] + expr]
+        Derivation using shift:
+          expr ::= [expr + expr ::= [expr • + expr]]
+    """
+    conflict = report.conflict
+    example = report.counterexample
+    lines = [f"Warning : {conflict.describe()}"]
+
+    second_label = "shift" if conflict.is_shift_reduce else "second reduction"
+    if example.unifying:
+        lines.append(f"Ambiguity detected for nonterminal {example.nonterminal}")
+        lines.append(f"Example: {format_symbols(example.example1())}")
+        lines.append("Derivation using reduction:")
+        lines.append(f"  {example.derivation1.render()}")
+        lines.append(f"Derivation using {second_label}:")
+        lines.append(f"  {example.derivation2.render()}")
+    else:
+        if example.timed_out:
+            lines.append(
+                "No unifying counterexample found within the time limit; "
+                "reporting a nonunifying counterexample"
+            )
+        lines.append(f"Example using reduction: {format_symbols(example.example1())}")
+        lines.append("Derivation using reduction:")
+        lines.append(f"  {example.derivation1.render()}")
+        lines.append(
+            f"Example using {second_label}: {format_symbols(example.example2())}"
+        )
+        lines.append(f"Derivation using {second_label}:")
+        lines.append(f"  {example.derivation2.render()}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""The outward unifying-counterexample search (§5.2, §5.4).
+
+The search starts from the conflict items themselves — not from the start
+state — and grows configurations outward with the successor moves of
+:mod:`repro.core.configurations`. Configurations are explored in order of
+increasing cost (a Dijkstra-style priority queue with duplicate
+suppression), which is how the paper postpones unproductive repeated
+production steps (§5.4, third observation).
+
+Success is a configuration whose two item sequences have the form
+``[? -> … • A …, ? -> … A • …]`` with a single derivation of the same
+nonterminal ``A`` on both sides: ``A`` is the unifying nonterminal and
+the two derivations prove the ambiguity.
+
+The search is
+
+* **sound**: an accepted configuration's two derivations derive the same
+  sentential form by construction (all prepended/appended symbols are
+  shared between the parsers);
+* **complete** for ambiguous grammars when given unlimited time and
+  ``allowed_prepend_states=None``; restricting reverse transitions to the
+  shortest lookahead-sensitive path (the default, §6) trades completeness
+  for speed;
+* **non-terminating** on some unambiguous grammars — callers must bound
+  it with ``time_limit``/``max_configurations``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from repro.automaton.conflicts import Conflict
+from repro.automaton.lalr import LALRAutomaton
+from repro.core.configurations import (
+    Configuration,
+    SuccessorGenerator,
+    initial_configuration,
+)
+from repro.core.counterexample import Counterexample
+from repro.grammar import Nonterminal
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for benchmarks and the ablation study."""
+
+    explored: int = 0
+    enqueued: int = 0
+    elapsed: float = 0.0
+    timed_out: bool = False
+    exhausted: bool = False
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one unifying search."""
+
+    counterexample: Counterexample | None
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.counterexample is not None
+
+
+class UnifyingSearch:
+    """Cost-ordered outward search for a unifying counterexample."""
+
+    def __init__(
+        self,
+        automaton: LALRAutomaton,
+        conflict: Conflict,
+        allowed_prepend_states: frozenset[int] | None = None,
+        time_limit: float = 5.0,
+        max_configurations: int = 2_000_000,
+        max_cost: float | None = 5_000.0,
+    ) -> None:
+        """
+        Args:
+            automaton: The LALR automaton.
+            conflict: The conflict to explain.
+            allowed_prepend_states: Restrict reverse transitions to these
+                states (pass the shortest lookahead-sensitive path states;
+                ``None`` = full search, the paper's ``-extendedsearch``).
+            time_limit: Wall-clock budget in seconds (paper default: 5 s).
+            max_configurations: Hard cap on explored configurations.
+            max_cost: Configurations beyond this cost are not expanded; a
+                search that drains the frontier under this ceiling reports
+                ``exhausted`` — "eligible configurations ran out" (§6).
+                Pass ``None`` for the unbounded semi-decision procedure.
+        """
+        self.automaton = automaton
+        self.conflict = conflict
+        self.generator = SuccessorGenerator(
+            automaton, conflict, allowed_prepend_states
+        )
+        self.time_limit = time_limit
+        self.max_configurations = max_configurations
+        self.max_cost = max_cost
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SearchResult:
+        """Run the search to acceptance, exhaustion, or timeout."""
+        stats = SearchStats()
+        started = time.monotonic()
+        deadline = started + self.time_limit
+
+        counter = 0
+        initial = initial_configuration(self.conflict)
+        frontier: list[tuple[float, int, Configuration]] = [(0.0, counter, initial)]
+        best_cost: dict[tuple, float] = {initial.key(): 0.0}
+
+        while frontier:
+            stats.explored += 1
+            if stats.explored % 256 == 0 and time.monotonic() > deadline:
+                stats.timed_out = True
+                break
+            if stats.explored > self.max_configurations:
+                stats.timed_out = True
+                break
+
+            cost, _, config = heapq.heappop(frontier)
+            if cost > best_cost.get(config.key(), float("inf")):
+                continue  # stale queue entry
+
+            accepted = self._accept(config)
+            if accepted is not None:
+                stats.elapsed = time.monotonic() - started
+                accepted = Counterexample(
+                    conflict=accepted.conflict,
+                    unifying=True,
+                    nonterminal=accepted.nonterminal,
+                    derivation1=accepted.derivation1,
+                    derivation2=accepted.derivation2,
+                    search_cost=cost,
+                )
+                return SearchResult(accepted, stats)
+
+            for _label, delta, successor in self.generator.successors(config):
+                new_cost = cost + delta
+                if self.max_cost is not None and new_cost > self.max_cost:
+                    continue
+                key = successor.key()
+                if new_cost < best_cost.get(key, float("inf")):
+                    best_cost[key] = new_cost
+                    counter += 1
+                    stats.enqueued += 1
+                    heapq.heappush(frontier, (new_cost, counter, successor))
+        else:
+            stats.exhausted = True
+
+        stats.elapsed = time.monotonic() - started
+        return SearchResult(None, stats)
+
+    # ------------------------------------------------------------------ #
+
+    def _accept(self, config: Configuration) -> Counterexample | None:
+        """Check the acceptance form of §5.4 and build the counterexample."""
+        if not (config.complete1 and config.complete2):
+            return None
+        if len(config.derivs1) != 1 or len(config.derivs2) != 1:
+            return None
+        if len(config.items1) != 2 or len(config.items2) != 2:
+            return None
+        derivation1 = config.derivs1[0]
+        derivation2 = config.derivs2[0]
+        if derivation1.children is None or derivation2.children is None:
+            return None
+        if derivation1.symbol != derivation2.symbol:
+            return None
+        if derivation1 == derivation2:
+            return None  # not two distinct parses
+        nonterminal = derivation1.symbol
+        assert isinstance(nonterminal, Nonterminal)
+        return Counterexample(
+            conflict=self.conflict,
+            unifying=True,
+            nonterminal=nonterminal,
+            derivation1=derivation1,
+            derivation2=derivation2,
+        )

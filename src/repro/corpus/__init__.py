@@ -1,0 +1,5 @@
+"""The evaluation grammar corpus (paper Table 1)."""
+
+from repro.corpus.registry import GrammarSpec, PaperRow, all_specs, get, load, register
+
+__all__ = ["GrammarSpec", "PaperRow", "all_specs", "get", "load", "register"]

@@ -1,0 +1,52 @@
+"""Conflict-injection helpers for the BV10-style grammars.
+
+Basten & Vinju (2010) built their benchmark by injecting defects into
+correct grammars for mainstream languages. The same defect classes are
+reproduced here as small text-level transformations over our base
+grammars:
+
+* :func:`add_rules` — append extra productions (e.g. a collapsed
+  ambiguous expression rule, or a duplicate derivation path);
+* :func:`drop_directive` — remove a precedence declaration, reviving the
+  conflicts it silenced (the classic dangling-else and operator cases);
+* :func:`replace_rule` — swap one rule body for another (e.g. make a
+  separator optional, the nullable-production defect that produces
+  Java.2's conflict explosion).
+"""
+
+from __future__ import annotations
+
+from repro.grammar import Grammar, load_grammar
+
+
+def add_rules(base_text: str, extra_rules: str) -> str:
+    """Append *extra_rules* (DSL text) to *base_text*."""
+    return base_text + "\n" + extra_rules + "\n"
+
+
+def drop_directive(base_text: str, directive_line: str) -> str:
+    """Remove the first line equal to *directive_line* (stripped compare).
+
+    Raises :class:`ValueError` when the directive is not present, so a
+    corpus typo cannot silently produce the wrong variant.
+    """
+    lines = base_text.splitlines()
+    target = directive_line.strip()
+    for index, line in enumerate(lines):
+        if line.strip() == target:
+            del lines[index]
+            return "\n".join(lines)
+    raise ValueError(f"directive {directive_line!r} not found in grammar text")
+
+
+def replace_rule(base_text: str, old_fragment: str, new_fragment: str) -> str:
+    """Replace one occurrence of *old_fragment*; error if absent."""
+    if old_fragment not in base_text:
+        raise ValueError(f"fragment {old_fragment!r} not found in grammar text")
+    return base_text.replace(old_fragment, new_fragment, 1)
+
+
+def load_variant(base_text: str, name: str, transform=None) -> Grammar:
+    """Apply *transform* (text -> text) and load the grammar as *name*."""
+    text = transform(base_text) if transform is not None else base_text
+    return load_grammar(text, name=name)

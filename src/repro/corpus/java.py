@@ -1,0 +1,450 @@
+"""A Java grammar with five injected-conflict variants (BV10 Java.1–5).
+
+The base grammar transcribes the JLS (first edition) LALR(1) grammar as
+shipped with CUP's ``java.cup``: compilation units, package and import
+declarations, class and interface declarations with full member forms,
+array types and initializers, the complete statement set — including the
+``StatementNoShortIf`` device that resolves the dangling else without
+precedence hacks — and the full expression hierarchy with JLS-style cast
+productions. The base is conflict-free.
+
+Variants:
+
+=======  ====================================================================
+Java.1   reintroduce the dangling else (a Statement-based if-else rule)
+Java.2   a nullable modifier production — the conflict explosion the paper
+         reports (1133 conflicts for BV10's Java.2); the 2-minute budget
+         runs out and remaining conflicts get nonunifying counterexamples
+Java.3   collapsed conditional-and layer — ambiguous
+Java.4   a mixture: dangling else, an optional argument separator (deep
+         searches that time out), and two-token-lookahead statement forms
+         (unambiguous — nonunifying counterexamples)
+Java.5   duplicate derivation paths for break/continue targets — ambiguous
+=======  ====================================================================
+"""
+
+from __future__ import annotations
+
+from repro.corpus.inject import add_rules, replace_rule
+from repro.corpus.registry import GrammarSpec, PaperRow, register
+from repro.grammar import Grammar, load_grammar
+
+JAVA_BASE = """
+%grammar java
+%start CompilationUnit
+
+CompilationUnit : PackageDeclarationOpt ImportDeclarationsOpt TypeDeclarationsOpt ;
+PackageDeclarationOpt : PackageDeclaration | %empty ;
+PackageDeclaration : PACKAGE Name ';' ;
+ImportDeclarationsOpt : ImportDeclarations | %empty ;
+ImportDeclarations : ImportDeclaration | ImportDeclarations ImportDeclaration ;
+ImportDeclaration : IMPORT Name ';' | IMPORT Name '.' '*' ';' ;
+TypeDeclarationsOpt : TypeDeclarations | %empty ;
+TypeDeclarations : TypeDeclaration | TypeDeclarations TypeDeclaration ;
+TypeDeclaration : ClassDeclaration | InterfaceDeclaration | ';' ;
+
+Name : SimpleName | QualifiedName ;
+SimpleName : ID ;
+QualifiedName : Name '.' ID ;
+
+Type : PrimitiveType | ReferenceType ;
+PrimitiveType : NumericType | BOOLEAN ;
+NumericType : IntegralType | FloatingPointType ;
+IntegralType : BYTE | SHORT | INT | LONG | CHAR ;
+FloatingPointType : FLOAT | DOUBLE ;
+ReferenceType : ClassOrInterfaceType | ArrayType ;
+ClassOrInterfaceType : Name ;
+ClassType : ClassOrInterfaceType ;
+InterfaceType : ClassOrInterfaceType ;
+ArrayType : PrimitiveType '[' ']' | Name '[' ']' | ArrayType '[' ']' ;
+
+ModifiersOpt : Modifiers | %empty ;
+Modifiers : Modifier | Modifiers Modifier ;
+Modifier : PUBLIC | PROTECTED | PRIVATE | STATIC | ABSTRACT | FINAL
+         | NATIVE | SYNCHRONIZED | TRANSIENT | VOLATILE ;
+
+ClassDeclaration : ModifiersOpt CLASS ID SuperOpt InterfacesOpt ClassBody ;
+SuperOpt : Super | %empty ;
+Super : EXTENDS ClassType ;
+InterfacesOpt : Interfaces | %empty ;
+Interfaces : IMPLEMENTS InterfaceTypeList ;
+InterfaceTypeList : InterfaceType | InterfaceTypeList ',' InterfaceType ;
+ClassBody : '{' ClassBodyDeclarationsOpt '}' ;
+ClassBodyDeclarationsOpt : ClassBodyDeclarations | %empty ;
+ClassBodyDeclarations : ClassBodyDeclaration
+                      | ClassBodyDeclarations ClassBodyDeclaration ;
+ClassBodyDeclaration : ClassMemberDeclaration
+                     | StaticInitializer
+                     | ConstructorDeclaration
+                     ;
+ClassMemberDeclaration : FieldDeclaration | MethodDeclaration ;
+
+FieldDeclaration : ModifiersOpt Type VariableDeclarators ';' ;
+VariableDeclarators : VariableDeclarator
+                    | VariableDeclarators ',' VariableDeclarator ;
+VariableDeclarator : VariableDeclaratorId
+                   | VariableDeclaratorId '=' VariableInitializer ;
+VariableDeclaratorId : ID | VariableDeclaratorId '[' ']' ;
+VariableInitializer : Expression | ArrayInitializer ;
+
+MethodDeclaration : MethodHeader MethodBody ;
+MethodHeader : ModifiersOpt Type MethodDeclarator ThrowsOpt
+             | ModifiersOpt VOID MethodDeclarator ThrowsOpt ;
+MethodDeclarator : ID '(' FormalParameterListOpt ')'
+                 | MethodDeclarator '[' ']' ;
+FormalParameterListOpt : FormalParameterList | %empty ;
+FormalParameterList : FormalParameter
+                    | FormalParameterList ',' FormalParameter ;
+FormalParameter : Type VariableDeclaratorId ;
+ThrowsOpt : Throws | %empty ;
+Throws : THROWS ClassTypeList ;
+ClassTypeList : ClassType | ClassTypeList ',' ClassType ;
+MethodBody : Block | ';' ;
+
+StaticInitializer : STATIC Block ;
+
+ConstructorDeclaration : ModifiersOpt ConstructorDeclarator ThrowsOpt
+                         ConstructorBody ;
+ConstructorDeclarator : SimpleName '(' FormalParameterListOpt ')' ;
+ConstructorBody : '{' ExplicitConstructorInvocation BlockStatements '}'
+                | '{' ExplicitConstructorInvocation '}'
+                | '{' BlockStatements '}'
+                | '{' '}'
+                ;
+ExplicitConstructorInvocation : THIS '(' ArgumentListOpt ')' ';'
+                              | SUPER '(' ArgumentListOpt ')' ';' ;
+
+InterfaceDeclaration : ModifiersOpt INTERFACE ID ExtendsInterfacesOpt
+                       InterfaceBody ;
+ExtendsInterfacesOpt : ExtendsInterfaces | %empty ;
+ExtendsInterfaces : EXTENDS InterfaceType
+                  | ExtendsInterfaces ',' InterfaceType ;
+InterfaceBody : '{' InterfaceMemberDeclarationsOpt '}' ;
+InterfaceMemberDeclarationsOpt : InterfaceMemberDeclarations | %empty ;
+InterfaceMemberDeclarations : InterfaceMemberDeclaration
+                            | InterfaceMemberDeclarations
+                              InterfaceMemberDeclaration ;
+InterfaceMemberDeclaration : ConstantDeclaration | AbstractMethodDeclaration ;
+ConstantDeclaration : FieldDeclaration ;
+AbstractMethodDeclaration : MethodHeader ';' ;
+
+ArrayInitializer : '{' VariableInitializers ',' '}'
+                 | '{' VariableInitializers '}'
+                 | '{' ',' '}'
+                 | '{' '}'
+                 ;
+VariableInitializers : VariableInitializer
+                     | VariableInitializers ',' VariableInitializer ;
+
+Block : '{' BlockStatementsOpt '}' ;
+BlockStatementsOpt : BlockStatements | %empty ;
+BlockStatements : BlockStatement | BlockStatements BlockStatement ;
+BlockStatement : LocalVariableDeclarationStatement | Statement ;
+LocalVariableDeclarationStatement : LocalVariableDeclaration ';' ;
+LocalVariableDeclaration : Type VariableDeclarators ;
+
+Statement : StatementWithoutTrailingSubstatement
+          | LabeledStatement
+          | IfThenStatement
+          | IfThenElseStatement
+          | WhileStatement
+          | ForStatement
+          ;
+StatementNoShortIf : StatementWithoutTrailingSubstatement
+                   | LabeledStatementNoShortIf
+                   | IfThenElseStatementNoShortIf
+                   | WhileStatementNoShortIf
+                   | ForStatementNoShortIf
+                   ;
+StatementWithoutTrailingSubstatement : Block
+                                     | EmptyStatement
+                                     | ExpressionStatement
+                                     | SwitchStatement
+                                     | DoStatement
+                                     | BreakStatement
+                                     | ContinueStatement
+                                     | ReturnStatement
+                                     | SynchronizedStatement
+                                     | ThrowStatement
+                                     | TryStatement
+                                     ;
+EmptyStatement : ';' ;
+LabeledStatement : ID ':' Statement ;
+LabeledStatementNoShortIf : ID ':' StatementNoShortIf ;
+ExpressionStatement : StatementExpression ';' ;
+StatementExpression : Assignment
+                    | PreIncrementExpression
+                    | PreDecrementExpression
+                    | PostIncrementExpression
+                    | PostDecrementExpression
+                    | MethodInvocation
+                    | ClassInstanceCreationExpression
+                    ;
+IfThenStatement : IF '(' Expression ')' Statement ;
+IfThenElseStatement : IF '(' Expression ')' StatementNoShortIf
+                      ELSE Statement ;
+IfThenElseStatementNoShortIf : IF '(' Expression ')' StatementNoShortIf
+                               ELSE StatementNoShortIf ;
+SwitchStatement : SWITCH '(' Expression ')' SwitchBlock ;
+SwitchBlock : '{' SwitchBlockStatementGroups SwitchLabels '}'
+            | '{' SwitchBlockStatementGroups '}'
+            | '{' SwitchLabels '}'
+            | '{' '}'
+            ;
+SwitchBlockStatementGroups : SwitchBlockStatementGroup
+                           | SwitchBlockStatementGroups
+                             SwitchBlockStatementGroup ;
+SwitchBlockStatementGroup : SwitchLabels BlockStatements ;
+SwitchLabels : SwitchLabel | SwitchLabels SwitchLabel ;
+SwitchLabel : CASE ConstantExpression ':' | DEFAULT ':' ;
+WhileStatement : WHILE '(' Expression ')' Statement ;
+WhileStatementNoShortIf : WHILE '(' Expression ')' StatementNoShortIf ;
+DoStatement : DO Statement WHILE '(' Expression ')' ';' ;
+ForStatement : FOR '(' ForInitOpt ';' ExpressionOpt ';' ForUpdateOpt ')'
+               Statement ;
+ForStatementNoShortIf : FOR '(' ForInitOpt ';' ExpressionOpt ';'
+                        ForUpdateOpt ')' StatementNoShortIf ;
+ForInitOpt : ForInit | %empty ;
+ForInit : StatementExpressionList | LocalVariableDeclaration ;
+ForUpdateOpt : ForUpdate | %empty ;
+ForUpdate : StatementExpressionList ;
+StatementExpressionList : StatementExpression
+                        | StatementExpressionList ',' StatementExpression ;
+ExpressionOpt : Expression | %empty ;
+BreakStatement : BREAK ID ';' | BREAK ';' ;
+ContinueStatement : CONTINUE ID ';' | CONTINUE ';' ;
+ReturnStatement : RETURN ExpressionOpt ';' ;
+ThrowStatement : THROW Expression ';' ;
+SynchronizedStatement : SYNCHRONIZED '(' Expression ')' Block ;
+TryStatement : TRY Block Catches
+             | TRY Block CatchesOpt Finally
+             ;
+CatchesOpt : Catches | %empty ;
+Catches : CatchClause | Catches CatchClause ;
+CatchClause : CATCH '(' FormalParameter ')' Block ;
+Finally : FINALLY Block ;
+
+Primary : PrimaryNoNewArray | ArrayCreationExpression ;
+PrimaryNoNewArray : Literal
+                  | THIS
+                  | '(' Expression ')'
+                  | ClassInstanceCreationExpression
+                  | FieldAccess
+                  | MethodInvocation
+                  | ArrayAccess
+                  ;
+Literal : INT_LIT | FLOAT_LIT | BOOL_LIT | CHAR_LIT | STRING_LIT | NULL_LIT ;
+ClassInstanceCreationExpression : NEW ClassType '(' ArgumentListOpt ')' ;
+ArgumentListOpt : ArgumentList | %empty ;
+ArgumentList : Expression | ArgumentList ',' Expression ;
+ArrayCreationExpression : NEW PrimitiveType DimExprs DimsOpt
+                        | NEW ClassOrInterfaceType DimExprs DimsOpt
+                        ;
+DimExprs : DimExpr | DimExprs DimExpr ;
+DimExpr : '[' Expression ']' ;
+DimsOpt : Dims | %empty ;
+Dims : '[' ']' | Dims '[' ']' ;
+FieldAccess : Primary '.' ID | SUPER '.' ID ;
+MethodInvocation : Name '(' ArgumentListOpt ')'
+                 | Primary '.' ID '(' ArgumentListOpt ')'
+                 | SUPER '.' ID '(' ArgumentListOpt ')'
+                 ;
+ArrayAccess : Name '[' Expression ']'
+            | PrimaryNoNewArray '[' Expression ']' ;
+
+PostfixExpression : Primary
+                  | Name
+                  | PostIncrementExpression
+                  | PostDecrementExpression
+                  ;
+PostIncrementExpression : PostfixExpression PLUSPLUS ;
+PostDecrementExpression : PostfixExpression MINUSMINUS ;
+UnaryExpression : PreIncrementExpression
+                | PreDecrementExpression
+                | '+' UnaryExpression
+                | '-' UnaryExpression
+                | UnaryExpressionNotPlusMinus
+                ;
+PreIncrementExpression : PLUSPLUS UnaryExpression ;
+PreDecrementExpression : MINUSMINUS UnaryExpression ;
+UnaryExpressionNotPlusMinus : PostfixExpression
+                            | '~' UnaryExpression
+                            | '!' UnaryExpression
+                            | CastExpression
+                            ;
+CastExpression : '(' PrimitiveType DimsOpt ')' UnaryExpression
+               | '(' Expression ')' UnaryExpressionNotPlusMinus
+               | '(' Name Dims ')' UnaryExpressionNotPlusMinus
+               ;
+MultiplicativeExpression : UnaryExpression
+                         | MultiplicativeExpression '*' UnaryExpression
+                         | MultiplicativeExpression '/' UnaryExpression
+                         | MultiplicativeExpression '%' UnaryExpression
+                         ;
+AdditiveExpression : MultiplicativeExpression
+                   | AdditiveExpression '+' MultiplicativeExpression
+                   | AdditiveExpression '-' MultiplicativeExpression
+                   ;
+ShiftExpression : AdditiveExpression
+                | ShiftExpression SHL AdditiveExpression
+                | ShiftExpression SHR AdditiveExpression
+                | ShiftExpression USHR AdditiveExpression
+                ;
+RelationalExpression : ShiftExpression
+                     | RelationalExpression '<' ShiftExpression
+                     | RelationalExpression '>' ShiftExpression
+                     | RelationalExpression LE ShiftExpression
+                     | RelationalExpression GE ShiftExpression
+                     | RelationalExpression INSTANCEOF ReferenceType
+                     ;
+EqualityExpression : RelationalExpression
+                   | EqualityExpression EQ RelationalExpression
+                   | EqualityExpression NE RelationalExpression
+                   ;
+AndExpression : EqualityExpression
+              | AndExpression '&' EqualityExpression ;
+ExclusiveOrExpression : AndExpression
+                      | ExclusiveOrExpression '^' AndExpression ;
+InclusiveOrExpression : ExclusiveOrExpression
+                      | InclusiveOrExpression '|' ExclusiveOrExpression ;
+ConditionalAndExpression : InclusiveOrExpression
+                         | ConditionalAndExpression ANDAND
+                           InclusiveOrExpression ;
+ConditionalOrExpression : ConditionalAndExpression
+                        | ConditionalOrExpression OROR
+                          ConditionalAndExpression ;
+ConditionalExpression : ConditionalOrExpression
+                      | ConditionalOrExpression '?' Expression ':'
+                        ConditionalExpression ;
+AssignmentExpression : ConditionalExpression | Assignment ;
+Assignment : LeftHandSide AssignmentOperator AssignmentExpression ;
+LeftHandSide : Name | FieldAccess | ArrayAccess ;
+AssignmentOperator : '=' | MUL_ASSIGN | DIV_ASSIGN | MOD_ASSIGN
+                   | ADD_ASSIGN | SUB_ASSIGN | SHL_ASSIGN | SHR_ASSIGN
+                   | USHR_ASSIGN | AND_ASSIGN | XOR_ASSIGN | OR_ASSIGN ;
+Expression : AssignmentExpression ;
+ConstantExpression : Expression ;
+"""
+
+
+def java_base_text() -> str:
+    """The conflict-free base Java grammar text."""
+    return JAVA_BASE
+
+
+def java_base() -> Grammar:
+    return load_grammar(JAVA_BASE, name="java-base")
+
+
+def _java1() -> Grammar:
+    text = add_rules(
+        JAVA_BASE,
+        "IfThenElseStatement : IF '(' Expression ')' Statement ELSE Statement ;",
+    )
+    return load_grammar(text, name="Java.1")
+
+
+def _java2() -> Grammar:
+    text = add_rules(JAVA_BASE, "Modifier : %empty ;")
+    return load_grammar(text, name="Java.2")
+
+
+def _java3() -> Grammar:
+    text = add_rules(
+        JAVA_BASE,
+        "ConditionalExpression : ConditionalOrExpression '?' Expression ':' "
+        "Expression ;",
+    )
+    return load_grammar(text, name="Java.3")
+
+
+def _java4() -> Grammar:
+    # Dangling else: easy unifying counterexamples.
+    text = add_rules(
+        JAVA_BASE,
+        "IfThenElseStatement : IF '(' Expression ')' Statement ELSE Statement ;",
+    )
+    # Collapsed ternary: reduce/reduce ambiguities, unifying.
+    text = add_rules(
+        text,
+        "ConditionalExpression : ConditionalOrExpression '?' Expression ':' "
+        "Expression ;",
+    )
+    # A two-token-lookahead statement pair: unambiguous, nonunifying.
+    text = add_rules(
+        text,
+        "StatementWithoutTrailingSubstatement : ASSERT_K AKind MARK_K END1_K ';'\n"
+        "    | ASSERT_K BKind MARK_K END2_K ';' ;\n"
+        "AKind : PROBE_K ;\n"
+        "BKind : PROBE_K ;",
+    )
+    # Optional comma between array-initializer elements: ambiguous, but the
+    # unifying searches hit the time limit (the paper's T/L class).
+    text = replace_rule(
+        text,
+        "VariableInitializers : VariableInitializer\n"
+        "                     | VariableInitializers ',' VariableInitializer ;",
+        "VariableInitializers : VariableInitializer\n"
+        "                     | VariableInitializers CommaOpt VariableInitializer ;\n"
+        "CommaOpt : ',' | %empty ;",
+    )
+    return load_grammar(text, name="Java.4")
+
+
+def _java5() -> Grammar:
+    text = add_rules(
+        JAVA_BASE,
+        "BreakStatement : BREAK LabelName ';' ;\n"
+        "ContinueStatement : CONTINUE LabelName ';' ;\n"
+        "LabelName : ID ;",
+    )
+    return load_grammar(text, name="Java.5")
+
+
+register(
+    GrammarSpec(
+        name="Java.1",
+        category="bv10",
+        loader=_java1,
+        ambiguous=True,
+        paper=PaperRow(152, 351, 607, 1, True, 1, 0, 0, 0.569, 0.569),
+    )
+)
+register(
+    GrammarSpec(
+        name="Java.2",
+        category="bv10",
+        loader=_java2,
+        ambiguous=True,
+        paper=PaperRow(152, 351, 606, 1133, True, 141, 0, 9, 35.384, 0.251),
+        notes="nullable-modifier explosion; the cumulative budget runs out",
+    )
+)
+register(
+    GrammarSpec(
+        name="Java.3",
+        category="bv10",
+        loader=_java3,
+        ambiguous=True,
+        paper=PaperRow(152, 351, 608, 2, True, 2, 0, 0, 0.435, 0.218),
+    )
+)
+register(
+    GrammarSpec(
+        name="Java.4",
+        category="bv10",
+        loader=_java4,
+        ambiguous=True,
+        paper=PaperRow(152, 351, 608, 14, True, 6, 2, 6, 2.042, 0.255),
+        notes="mixed defects: unifying, nonunifying, and time-limit conflicts",
+    )
+)
+register(
+    GrammarSpec(
+        name="Java.5",
+        category="bv10",
+        loader=_java5,
+        ambiguous=True,
+        paper=PaperRow(152, 351, 607, 3, True, 3, 0, 0, 0.526, 0.175),
+    )
+)

@@ -1,0 +1,171 @@
+"""Lexers for the corpus language grammars.
+
+These turn source text into the terminal streams the base grammars
+expect, enabling end-to-end parsing of real programs in the examples and
+integration tests. Each lexer mirrors its grammar's terminal vocabulary
+exactly (see the corresponding module in :mod:`repro.corpus`).
+"""
+
+from __future__ import annotations
+
+from repro.parsing.lexer import Lexer, keyword_table
+
+def sql_lexer() -> Lexer:
+    """Tokens for :mod:`repro.corpus.sql`."""
+    keywords = keyword_table(
+        "SELECT", "DISTINCT", "ALL", "AS", "FROM", "JOIN", "INNER", "LEFT",
+        "RIGHT", "ON", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+        "DESC", "OR", "AND", "NOT", "IS", "NULL", "LIKE", "IN", "EXISTS",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN", "ELSE",
+        "END", "TRUE", "FALSE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+        "DELETE", "CREATE", "TABLE", "PRIMARY", "KEY", "UNIQUE", "DEFAULT",
+        "DROP",
+    )
+    keywords.update(
+        {
+            "int": "INT_T", "INT": "INT_T",
+            "float": "FLOAT_T", "FLOAT": "FLOAT_T",
+            "char": "CHAR_T", "CHAR": "CHAR_T",
+            "varchar": "VARCHAR_T", "VARCHAR": "VARCHAR_T",
+            "date": "DATE_T", "DATE": "DATE_T",
+            "boolean": "BOOLEAN_T", "BOOLEAN": "BOOLEAN_T",
+        }
+    )
+    return Lexer(
+        rules=[
+            (None, r"\s+"),
+            (None, r"--[^\n]*"),
+            ("NUM", r"[0-9]+(\.[0-9]+)?"),
+            ("STRING", r"'[^']*'"),
+            ("ID", r"[A-Za-z_][A-Za-z0-9_]*"),
+            ("'<='", r"<="), ("'>='", r">="), ("'<>'", r"<>"),
+            ("'<'", r"<"), ("'>'", r">"), ("'='", r"="),
+            ("'('", r"\("), ("')'", r"\)"), ("','", r","), ("';'", r";"),
+            ("'*'", r"\*"), ("'/'", r"/"), ("'+'", r"\+"), ("'-'", r"-"),
+            ("'.'", r"\."), ("PARAM", r"\?"),
+        ],
+        keywords=keywords,
+    )
+
+
+def pascal_lexer() -> Lexer:
+    """Tokens for :mod:`repro.corpus.pascal`."""
+    keywords = keyword_table(
+        "PROGRAM", "LABEL", "CONST", "TYPE", "ARRAY", "OF", "RECORD", "END",
+        "SET", "FILE", "PACKED", "CASE", "VAR", "PROCEDURE", "FUNCTION",
+        "FORWARD", "IF", "THEN", "ELSE", "WHILE", "DO", "REPEAT", "UNTIL",
+        "FOR", "TO", "DOWNTO", "WITH", "GOTO", "NIL", "NOT", "OR", "AND",
+        "DIV", "MOD", "IN",
+    )
+    keywords["begin"] = "PBEGIN"
+    keywords["BEGIN"] = "PBEGIN"
+    return Lexer(
+        rules=[
+            (None, r"\s+"),
+            (None, r"\(\*[\s\S]*?\*\)"),
+            ("NUM", r"[0-9]+(\.[0-9]+)?"),
+            ("STRING", r"'[^']*'"),
+            ("CHR", r"#[0-9]+"),
+            ("ID", r"[A-Za-z_][A-Za-z0-9_]*"),
+            ("ASSIGN", r":="), ("DOTDOT", r"\.\."),
+            ("LE", r"<="), ("GE", r">="), ("NE", r"<>"),
+            ("'<'", r"<"), ("'>'", r">"), ("'='", r"="),
+            ("'('", r"\("), ("')'", r"\)"), ("'['", r"\["), ("']'", r"\]"),
+            ("','", r","), ("';'", r";"), ("':'", r":"), ("'.'", r"\."),
+            ("'+'", r"\+"), ("'-'", r"-"), ("'*'", r"\*"), ("'/'", r"/"),
+            ("'^'", r"\^"),
+        ],
+        keywords=keywords,
+    )
+
+
+def c_lexer() -> Lexer:
+    """Tokens for :mod:`repro.corpus.c` (typedef names must be pre-declared)."""
+    keywords = {
+        name.lower(): name
+        for name in [
+            "TYPEDEF", "EXTERN", "STATIC", "AUTO", "REGISTER", "VOID",
+            "CHAR", "SHORT", "INT", "LONG", "FLOAT", "DOUBLE", "SIGNED",
+            "UNSIGNED", "STRUCT", "UNION", "ENUM", "CONST", "VOLATILE",
+            "CASE", "DEFAULT", "IF", "ELSE", "SWITCH", "WHILE", "DO", "FOR",
+            "GOTO", "CONTINUE", "BREAK", "RETURN", "SIZEOF",
+        ]
+    }
+    return Lexer(
+        rules=[
+            (None, r"\s+"),
+            (None, r"//[^\n]*"),
+            (None, r"/\*[\s\S]*?\*/"),
+            ("CONSTANT", r"[0-9]+(\.[0-9]+)?([uUlLfF]*)"),
+            ("CONSTANT", r"'(\\.|[^'\\])'"),
+            ("STRING_LITERAL", r'"(\\.|[^"\\])*"'),
+            ("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*"),
+            ("ELLIPSIS", r"\.\.\."),
+            ("LEFT_ASSIGN", r"<<="), ("RIGHT_ASSIGN", r">>="),
+            ("LEFT_OP", r"<<"), ("RIGHT_OP", r">>"),
+            ("LE_OP", r"<="), ("GE_OP", r">="),
+            ("EQ_OP", r"=="), ("NE_OP", r"!="),
+            ("PTR_OP", r"->"), ("INC_OP", r"\+\+"), ("DEC_OP", r"--"),
+            ("MUL_ASSIGN", r"\*="), ("DIV_ASSIGN", r"/="),
+            ("MOD_ASSIGN", r"%="), ("ADD_ASSIGN", r"\+="),
+            ("SUB_ASSIGN", r"-="), ("AND_ASSIGN", r"&="),
+            ("XOR_ASSIGN", r"\^="), ("OR_ASSIGN", r"\|="),
+            ("AND_OP", r"&&"), ("OR_OP", r"\|\|"),
+            ("'<'", r"<"), ("'>'", r">"), ("'='", r"="),
+            ("'('", r"\("), ("')'", r"\)"), ("'['", r"\["), ("']'", r"\]"),
+            ("'{'", r"\{"), ("'}'", r"\}"),
+            ("','", r","), ("';'", r";"), ("':'", r":"), ("'.'", r"\."),
+            ("'+'", r"\+"), ("'-'", r"-"), ("'*'", r"\*"), ("'/'", r"/"),
+            ("'%'", r"%"), ("'&'", r"&"), ("'|'", r"\|"), ("'^'", r"\^"),
+            ("'~'", r"~"), ("'!'", r"!"), ("'?'", r"\?"),
+        ],
+        keywords=keywords,
+    )
+
+
+def java_lexer() -> Lexer:
+    """Tokens for :mod:`repro.corpus.java`."""
+    keywords = {
+        name.lower(): name
+        for name in [
+            "PACKAGE", "IMPORT", "CLASS", "INTERFACE", "EXTENDS",
+            "IMPLEMENTS", "PUBLIC", "PROTECTED", "PRIVATE", "STATIC",
+            "ABSTRACT", "FINAL", "NATIVE", "SYNCHRONIZED", "TRANSIENT",
+            "VOLATILE", "THROWS", "VOID", "BOOLEAN", "BYTE", "SHORT", "INT",
+            "LONG", "CHAR", "FLOAT", "DOUBLE", "IF", "ELSE", "SWITCH",
+            "CASE", "DEFAULT", "WHILE", "DO", "FOR", "BREAK", "CONTINUE",
+            "RETURN", "THROW", "TRY", "CATCH", "FINALLY", "NEW", "THIS",
+            "SUPER", "INSTANCEOF",
+        ]
+    }
+    keywords.update({"true": "BOOL_LIT", "false": "BOOL_LIT", "null": "NULL_LIT"})
+    return Lexer(
+        rules=[
+            (None, r"\s+"),
+            (None, r"//[^\n]*"),
+            (None, r"/\*[\s\S]*?\*/"),
+            ("FLOAT_LIT", r"[0-9]+\.[0-9]+([fFdD]?)"),
+            ("INT_LIT", r"[0-9]+[lL]?"),
+            ("CHAR_LIT", r"'(\\.|[^'\\])'"),
+            ("STRING_LIT", r'"(\\.|[^"\\])*"'),
+            ("ID", r"[A-Za-z_$][A-Za-z0-9_$]*"),
+            ("SHL_ASSIGN", r"<<="), ("USHR_ASSIGN", r">>>="),
+            ("SHR_ASSIGN", r">>="),
+            ("USHR", r">>>"), ("SHL", r"<<"), ("SHR", r">>"),
+            ("LE", r"<="), ("GE", r">="), ("EQ", r"=="), ("NE", r"!="),
+            ("PLUSPLUS", r"\+\+"), ("MINUSMINUS", r"--"),
+            ("MUL_ASSIGN", r"\*="), ("DIV_ASSIGN", r"/="),
+            ("MOD_ASSIGN", r"%="), ("ADD_ASSIGN", r"\+="),
+            ("SUB_ASSIGN", r"-="), ("AND_ASSIGN", r"&="),
+            ("XOR_ASSIGN", r"\^="), ("OR_ASSIGN", r"\|="),
+            ("ANDAND", r"&&"), ("OROR", r"\|\|"),
+            ("'<'", r"<"), ("'>'", r">"), ("'='", r"="),
+            ("'('", r"\("), ("')'", r"\)"), ("'['", r"\["), ("']'", r"\]"),
+            ("'{'", r"\{"), ("'}'", r"\}"),
+            ("','", r","), ("';'", r";"), ("':'", r":"), ("'.'", r"\."),
+            ("'+'", r"\+"), ("'-'", r"-"), ("'*'", r"\*"), ("'/'", r"/"),
+            ("'%'", r"%"), ("'&'", r"&"), ("'|'", r"\|"), ("'^'", r"\^"),
+            ("'~'", r"~"), ("'!'", r"!"), ("'?'", r"\?"),
+        ],
+        keywords=keywords,
+    )

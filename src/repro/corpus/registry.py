@@ -1,0 +1,94 @@
+"""The evaluation corpus: every grammar named in the paper's Table 1.
+
+Each grammar is registered as a :class:`GrammarSpec` carrying the loader,
+the category, whether the grammar is ambiguous, and — where the paper
+reports them — the Table 1 reference numbers, so that the benchmark
+harness can print paper-vs-measured rows.
+
+Reconstruction notes: the paper's own figures are reproduced exactly; the
+"ours", StackOverflow/StackExchange, and BV10 grammars are reconstructions
+(the original files are not available offline), so complexity numbers are
+approximate. See DESIGN.md "Faithfulness notes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.grammar import Grammar
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The Table 1 reference numbers for one grammar (as published)."""
+
+    nonterms: int
+    prods: int
+    states: int
+    conflicts: int
+    ambiguous: bool
+    unifying: int
+    nonunifying: int
+    timeouts: int
+    total_time: float | None  # seconds; None for T/L rows
+    average_time: float | None
+
+
+@dataclass(frozen=True)
+class GrammarSpec:
+    """One corpus entry."""
+
+    name: str
+    category: str  # "paper" | "ours" | "stackoverflow" | "bv10"
+    loader: Callable[[], Grammar]
+    ambiguous: bool
+    exact: bool = False  # True when the grammar is verbatim from the paper
+    paper: PaperRow | None = None
+    notes: str = ""
+
+    def load(self) -> Grammar:
+        grammar = self.loader()
+        # Keep the registry name authoritative for reporting.
+        grammar.name = self.name
+        return grammar
+
+
+_REGISTRY: dict[str, GrammarSpec] = {}
+
+
+def register(spec: GrammarSpec) -> GrammarSpec:
+    """Add *spec* to the global registry (module import time)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate corpus grammar {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_loaded() -> None:
+    """Import the corpus modules so their registrations run."""
+    from repro.corpus import c, java, ours, paper, pascal, sql, stackoverflow  # noqa: F401
+
+
+def all_specs(category: str | None = None) -> list[GrammarSpec]:
+    """All registered grammars, optionally filtered by category."""
+    _ensure_loaded()
+    specs = list(_REGISTRY.values())
+    if category is not None:
+        specs = [s for s in specs if s.category == category]
+    return specs
+
+
+def get(name: str) -> GrammarSpec:
+    """Look up one grammar by its Table 1 name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"no corpus grammar {name!r}; known: {known}") from None
+
+
+def load(name: str) -> Grammar:
+    """Load one corpus grammar by name."""
+    return get(name).load()

@@ -1,0 +1,159 @@
+"""Reconstructions of the StackOverflow/StackExchange grammars of Table 1.
+
+The paper links to twelve Q&A posts by developers puzzled by parsing
+conflicts. The posts describe classic conflict patterns; each grammar
+here reconstructs the *pattern* of its post (the exact grammar files are
+not part of the paper's artifact):
+
+==============  =============================================================
+stackexc01      ambiguous expression grammar (associativity + precedence)
+stackexc02      nullable declaration/statement lists, unambiguous non-LALR
+stackovf01      self-delimiting recursion needing 2 lookaheads (unambiguous)
+stackovf02      the bare E -> E+E | E*E expression grammar (ambiguous)
+stackovf03      statement list with optional trailing separator (ambiguous)
+stackovf04      reduce/reduce on a shared prefix, disambiguated later
+stackovf05      reduce/reduce between identical derivations (ambiguous)
+stackovf06      two LR(2) patterns side by side (unambiguous)
+stackovf07      prefix/infix operator overlap (ambiguous)
+stackovf08      optional-item cascade, unambiguous but massively conflicted
+stackovf09      nested optional wrappers, unambiguous non-LALR
+stackovf10      XML-ish element grammar with nullable lists (ambiguous)
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from repro.corpus.registry import GrammarSpec, PaperRow, register
+from repro.grammar import Grammar, load_grammar
+
+_TEXTS = {
+    "stackexc01": """
+%grammar stackexc01
+%start e
+%left '+'
+e : e '+' e | e '*' e | ID ;
+""",
+    "stackexc02": """
+%grammar stackexc02
+%start unit
+unit : decls stmts ;
+decls : decls decl | %empty ;
+decl : ID ID ';' ;
+stmts : stmts stmt | %empty ;
+stmt : ID '=' num ';' ;
+num : NUM ;
+""",
+    "stackovf01": """
+%grammar stackovf01
+%start s
+s : 'a' s 'a' | %empty ;
+""",
+    "stackovf02": """
+%grammar stackovf02
+%start e
+e : e '+' e | e '*' e | '(' e ')' | NUM ;
+""",
+    "stackovf03": """
+%grammar stackovf03
+%start list
+list : list ';' list | ITEM ;
+""",
+    "stackovf04": """
+%grammar stackovf04
+%start s
+s : t 'x' 'p' | u 'x' 'q' ;
+t : 'k' ;
+u : 'k' ;
+""",
+    "stackovf05": """
+%grammar stackovf05
+%start s
+s : first 'x' | second 'x' ;
+first : 'q' ;
+second : 'q' ;
+""",
+    "stackovf06": """
+%grammar stackovf06
+%start s
+s : t 'x' 'p' | u 'x' 'q' | v 'y' 'p' | w 'y' 'q' ;
+t : 'k' ;
+u : 'k' ;
+v : 'm' ;
+w : 'm' ;
+""",
+    "stackovf07": """
+%grammar stackovf07
+%start s
+s : e ;
+e : e '+' e | t ;
+t : t '*' t | '-' t | prim ;
+prim : ID | NUM | '(' e ')' ;
+""",
+    "stackovf08": """
+%grammar stackovf08
+%start s
+s : t follow 'p' | u follow 'q' ;
+t : 'k' ;
+u : 'k' ;
+follow : 'a' | 'b' | 'c' | 'd' | 'e' | 'f' | 'g' | 'h' ;
+""",
+    "stackovf09": """
+%grammar stackovf09
+%start s
+s : wrap 'x' 'p' | wrap2 'x' 'q' ;
+wrap : inner ;
+wrap2 : inner2 ;
+inner : 'k' ;
+inner2 : 'k' ;
+""",
+    "stackovf10": """
+%grammar stackovf10
+%start document
+document : prolog element epilog ;
+prolog : prolog misc | %empty ;
+epilog : epilog misc | %empty ;
+misc : COMMENT | PI | DOCTYPE | CDATA | misc misc ;
+element : '<' NAME attrs '>' content '</' NAME '>'
+        | '<' NAME attrs '/>'
+        ;
+attrs : attrs attr | %empty ;
+attr : NAME '=' STRING ;
+content : content chunk | %empty ;
+chunk : element | text | misc ;
+text : TEXT | text TEXT ;
+""",
+}
+
+_ROWS = {
+    "stackexc01": PaperRow(2, 7, 13, 3, True, 3, 0, 0, 0.023, 0.008),
+    "stackexc02": PaperRow(6, 11, 15, 1, False, 0, 1, 0, 0.008, 0.008),
+    "stackovf01": PaperRow(2, 5, 9, 1, False, 0, 1, 0, 0.009, 0.009),
+    "stackovf02": PaperRow(2, 5, 9, 4, True, 4, 0, 0, 0.043, 0.011),
+    "stackovf03": PaperRow(2, 6, 10, 1, True, 1, 0, 0, 0.017, 0.017),
+    "stackovf04": PaperRow(5, 9, 13, 1, False, 0, 1, 0, 0.009, 0.009),
+    "stackovf05": PaperRow(5, 10, 14, 1, True, 1, 0, 0, 0.010, 0.010),
+    "stackovf06": PaperRow(6, 10, 15, 2, False, 0, 2, 0, 0.012, 0.006),
+    "stackovf07": PaperRow(7, 12, 17, 3, True, 3, 0, 0, 0.028, 0.009),
+    "stackovf08": PaperRow(3, 13, 21, 8, False, 0, 8, 0, 0.025, 0.003),
+    "stackovf09": PaperRow(6, 12, 27, 1, False, 0, 1, 0, 0.017, 0.017),
+    "stackovf10": PaperRow(9, 20, 53, 19, True, 19, 0, 0, 0.140, 0.007),
+}
+
+
+def _make_loader(name: str):
+    def loader() -> Grammar:
+        return load_grammar(_TEXTS[name], name=name)
+
+    return loader
+
+
+for _name, _row in _ROWS.items():
+    register(
+        GrammarSpec(
+            name=_name,
+            category="stackoverflow",
+            loader=_make_loader(_name),
+            ambiguous=_row.ambiguous,
+            paper=_row,
+        )
+    )

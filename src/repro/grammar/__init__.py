@@ -1,0 +1,61 @@
+"""Context-free grammar substrate: symbols, productions, analyses, DSL."""
+
+from repro.grammar.analysis import GrammarAnalysis
+from repro.grammar.builder import GrammarBuilder, grammar_from_rules
+from repro.grammar.dsl import load_grammar, load_grammar_file
+from repro.grammar.emit import dump_grammar
+from repro.grammar.errors import (
+    DuplicateDeclarationError,
+    GrammarError,
+    GrammarSyntaxError,
+    InvalidGrammarError,
+    UndefinedSymbolError,
+)
+from repro.grammar.grammar import AUGMENTED_START_NAME, Grammar, Production
+from repro.grammar.precedence import Associativity, PrecedenceLevel, PrecedenceTable
+from repro.grammar.transforms import (
+    GrammarMetrics,
+    has_derivation_cycles,
+    left_recursive_nonterminals,
+    reduce_grammar,
+    remove_nonproductive,
+    remove_unreachable,
+    unit_productions,
+)
+from repro.grammar.symbols import (
+    END_OF_INPUT,
+    Nonterminal,
+    Symbol,
+    Terminal,
+)
+
+__all__ = [
+    "AUGMENTED_START_NAME",
+    "Associativity",
+    "DuplicateDeclarationError",
+    "END_OF_INPUT",
+    "Grammar",
+    "GrammarAnalysis",
+    "GrammarBuilder",
+    "GrammarError",
+    "GrammarMetrics",
+    "GrammarSyntaxError",
+    "InvalidGrammarError",
+    "Nonterminal",
+    "PrecedenceLevel",
+    "PrecedenceTable",
+    "Production",
+    "Symbol",
+    "Terminal",
+    "UndefinedSymbolError",
+    "dump_grammar",
+    "grammar_from_rules",
+    "has_derivation_cycles",
+    "left_recursive_nonterminals",
+    "load_grammar",
+    "load_grammar_file",
+    "reduce_grammar",
+    "remove_nonproductive",
+    "remove_unreachable",
+    "unit_productions",
+]

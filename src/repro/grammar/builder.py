@@ -1,0 +1,128 @@
+"""Programmatic grammar construction.
+
+:class:`GrammarBuilder` offers a small fluent API used throughout the test
+suite and the corpus::
+
+    builder = GrammarBuilder("dangling-else")
+    builder.rule("stmt", "IF expr THEN stmt ELSE stmt")
+    builder.rule("stmt", "IF expr THEN stmt")
+    builder.rule("expr", "NUM")
+    grammar = builder.build(start="stmt")
+
+Right-hand sides are whitespace-separated symbol names. A name is a
+nonterminal iff it appears on some left-hand side; every other name is a
+terminal. ``rules`` accepts ``|``-separated alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.grammar.errors import InvalidGrammarError
+from repro.grammar.grammar import Grammar
+from repro.grammar.precedence import Associativity, PrecedenceTable
+from repro.grammar.symbols import Nonterminal, Symbol, Terminal
+
+
+class GrammarBuilder:
+    """Incrementally assemble a :class:`~repro.grammar.grammar.Grammar`."""
+
+    def __init__(self, name: str = "grammar") -> None:
+        self.name = name
+        self._raw_rules: list[tuple[str, tuple[str, ...], str | None]] = []
+        self._precedence = PrecedenceTable()
+        self._start: str | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def rule(self, lhs: str, rhs: str | Sequence[str] = "", prec: str | None = None) -> "GrammarBuilder":
+        """Add one production. *rhs* is a space-separated string or a sequence.
+
+        An empty *rhs* adds an epsilon production. *prec* names a terminal
+        whose precedence the production should take (yacc ``%prec``).
+        """
+        if isinstance(rhs, str):
+            symbols = tuple(rhs.split())
+        else:
+            symbols = tuple(rhs)
+        self._raw_rules.append((lhs, symbols, prec))
+        return self
+
+    def rules(self, lhs: str, alternatives: str) -> "GrammarBuilder":
+        """Add several productions at once, ``|``-separated.
+
+        Use the literal token ``%empty`` for an epsilon alternative (a bare
+        ``|`` would be ambiguous with accidental double spaces).
+        """
+        for alternative in alternatives.split("|"):
+            symbols = alternative.split()
+            if symbols == ["%empty"]:
+                symbols = []
+            self.rule(lhs, symbols)
+        return self
+
+    def left(self, *terminals: str) -> "GrammarBuilder":
+        """Declare one ``%left`` precedence level (lowest first)."""
+        self._precedence.declare(Associativity.LEFT, (Terminal(t) for t in terminals))
+        return self
+
+    def right(self, *terminals: str) -> "GrammarBuilder":
+        """Declare one ``%right`` precedence level."""
+        self._precedence.declare(Associativity.RIGHT, (Terminal(t) for t in terminals))
+        return self
+
+    def nonassoc(self, *terminals: str) -> "GrammarBuilder":
+        """Declare one ``%nonassoc`` precedence level."""
+        self._precedence.declare(Associativity.NONASSOC, (Terminal(t) for t in terminals))
+        return self
+
+    def start(self, nonterminal: str) -> "GrammarBuilder":
+        """Set the start symbol (defaults to the first rule's left-hand side)."""
+        self._start = nonterminal
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, start: str | None = None) -> Grammar:
+        """Resolve names to symbols and produce the augmented grammar."""
+        if start is not None:
+            self._start = start
+        if not self._raw_rules:
+            raise InvalidGrammarError(f"grammar {self.name!r} has no rules")
+        if self._start is None:
+            self._start = self._raw_rules[0][0]
+
+        nonterminal_names = {lhs for lhs, _, _ in self._raw_rules}
+
+        def resolve(name: str) -> Symbol:
+            if name in nonterminal_names:
+                return Nonterminal(name)
+            return Terminal(name)
+
+        productions: list[tuple[Nonterminal, tuple[Symbol, ...], Terminal | None]] = []
+        for lhs, rhs, prec in self._raw_rules:
+            productions.append(
+                (
+                    Nonterminal(lhs),
+                    tuple(resolve(name) for name in rhs),
+                    Terminal(prec) if prec is not None else None,
+                )
+            )
+        return Grammar(
+            productions,
+            start=Nonterminal(self._start),
+            precedence=self._precedence,
+            name=self.name,
+        )
+
+
+def grammar_from_rules(
+    name: str,
+    rules: Iterable[tuple[str, str]],
+    start: str | None = None,
+) -> Grammar:
+    """Shorthand: build a grammar from ``(lhs, rhs)`` string pairs."""
+    builder = GrammarBuilder(name)
+    for lhs, rhs in rules:
+        builder.rule(lhs, rhs)
+    return builder.build(start=start)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for grammar construction and analysis."""
+
+from __future__ import annotations
+
+
+class GrammarError(Exception):
+    """Base class for all errors raised while building or analysing a grammar."""
+
+
+class GrammarSyntaxError(GrammarError):
+    """The textual grammar DSL could not be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending input, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class UndefinedSymbolError(GrammarError):
+    """A production refers to a nonterminal that has no productions."""
+
+
+class DuplicateDeclarationError(GrammarError):
+    """A symbol or precedence level was declared more than once."""
+
+
+class InvalidGrammarError(GrammarError):
+    """The grammar is structurally unusable (e.g. no start symbol)."""

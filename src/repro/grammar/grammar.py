@@ -1,0 +1,232 @@
+"""Context-free grammar representation.
+
+A :class:`Grammar` is an immutable collection of :class:`Production` rules
+over :class:`~repro.grammar.symbols.Terminal` and
+:class:`~repro.grammar.symbols.Nonterminal` symbols, plus a start symbol
+and an optional :class:`~repro.grammar.precedence.PrecedenceTable`.
+
+Grammars are *augmented* on construction: a fresh start production
+``START' -> S $`` is prepended (production index 0), as required by LR
+automaton construction. The augmented start symbol and the end marker are
+available as :attr:`Grammar.augmented_start` and the module-level
+:data:`~repro.grammar.symbols.END_OF_INPUT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.grammar.errors import InvalidGrammarError, UndefinedSymbolError
+from repro.grammar.precedence import PrecedenceTable
+from repro.grammar.symbols import END_OF_INPUT, Nonterminal, Symbol, Terminal
+
+#: Name used for the synthetic augmented start nonterminal.
+AUGMENTED_START_NAME = "START'"
+
+
+@dataclass(frozen=True)
+class Production:
+    """A grammar production ``lhs -> rhs``.
+
+    Attributes:
+        index: Position of the production in the grammar (0 is the
+            augmented start production).
+        lhs: The nonterminal being defined.
+        rhs: Right-hand side symbols; empty tuple for an epsilon production.
+        prec_override: Terminal named in a ``%prec`` directive, if any.
+    """
+
+    index: int
+    lhs: Nonterminal
+    rhs: tuple[Symbol, ...]
+    prec_override: Terminal | None = None
+
+    def __str__(self) -> str:
+        rhs = " ".join(str(symbol) for symbol in self.rhs) if self.rhs else "/* empty */"
+        return f"{self.lhs} ::= {rhs}"
+
+    def __len__(self) -> int:
+        return len(self.rhs)
+
+
+class Grammar:
+    """An augmented context-free grammar.
+
+    Use :class:`~repro.grammar.builder.GrammarBuilder` or
+    :func:`~repro.grammar.dsl.load_grammar` to construct instances; the
+    constructor itself takes fully resolved symbols.
+    """
+
+    def __init__(
+        self,
+        productions: Sequence[tuple[Nonterminal, Sequence[Symbol], Terminal | None]],
+        start: Nonterminal,
+        precedence: PrecedenceTable | None = None,
+        name: str = "grammar",
+    ) -> None:
+        """Build an augmented grammar.
+
+        Args:
+            productions: Triples ``(lhs, rhs, prec_override)`` in source order.
+            start: The user's start symbol.
+            precedence: Optional precedence declarations.
+            name: Diagnostic name used in reports and benchmarks.
+        """
+        if not productions:
+            raise InvalidGrammarError("a grammar needs at least one production")
+        self.name = name
+        self.start = start
+        self.augmented_start = Nonterminal(AUGMENTED_START_NAME)
+        self.precedence = precedence if precedence is not None else PrecedenceTable()
+
+        augmented: list[Production] = [
+            Production(0, self.augmented_start, (start, END_OF_INPUT))
+        ]
+        for lhs, rhs, override in productions:
+            augmented.append(Production(len(augmented), lhs, tuple(rhs), override))
+        self.productions: tuple[Production, ...] = tuple(augmented)
+
+        self._by_lhs: dict[Nonterminal, tuple[Production, ...]] = {}
+        grouped: dict[Nonterminal, list[Production]] = {}
+        for production in self.productions:
+            grouped.setdefault(production.lhs, []).append(production)
+        self._by_lhs = {lhs: tuple(prods) for lhs, prods in grouped.items()}
+
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    @cached_property
+    def nonterminals(self) -> tuple[Nonterminal, ...]:
+        """All nonterminals, in order of first appearance (augmented start first)."""
+        seen: dict[Nonterminal, None] = {}
+        for production in self.productions:
+            seen.setdefault(production.lhs, None)
+            for symbol in production.rhs:
+                if isinstance(symbol, Nonterminal):
+                    seen.setdefault(symbol, None)
+        return tuple(seen)
+
+    @cached_property
+    def terminals(self) -> tuple[Terminal, ...]:
+        """All terminals appearing in the grammar, including the end marker."""
+        seen: dict[Terminal, None] = {}
+        for production in self.productions:
+            for symbol in production.rhs:
+                if isinstance(symbol, Terminal):
+                    seen.setdefault(symbol, None)
+        return tuple(seen)
+
+    @cached_property
+    def symbols(self) -> tuple[Symbol, ...]:
+        return self.terminals + self.nonterminals
+
+    def productions_of(self, nonterminal: Nonterminal) -> tuple[Production, ...]:
+        """Productions whose left-hand side is *nonterminal* (possibly empty)."""
+        return self._by_lhs.get(nonterminal, ())
+
+    @property
+    def start_production(self) -> Production:
+        """The augmented production ``START' -> start $``."""
+        return self.productions[0]
+
+    def user_productions(self) -> Iterator[Production]:
+        """Productions excluding the synthetic start production."""
+        return iter(self.productions[1:])
+
+    @cached_property
+    def num_user_nonterminals(self) -> int:
+        """Nonterminal count excluding the augmented start (Table 1's ``#nonterms``)."""
+        return len(self.nonterminals) - 1
+
+    @cached_property
+    def num_user_productions(self) -> int:
+        """Production count excluding the augmented production (Table 1's ``#prods``)."""
+        return len(self.productions) - 1
+
+    # ------------------------------------------------------------------ #
+    # Validation and hygiene analyses
+
+    def _validate(self) -> None:
+        for production in self.productions:
+            for symbol in production.rhs:
+                if isinstance(symbol, Nonterminal) and symbol not in self._by_lhs:
+                    raise UndefinedSymbolError(
+                        f"nonterminal {symbol} used in '{production}' has no productions"
+                    )
+        if self.start not in self._by_lhs:
+            raise UndefinedSymbolError(f"start symbol {self.start} has no productions")
+        for production in self.user_productions():
+            if END_OF_INPUT in production.rhs:
+                raise InvalidGrammarError(
+                    f"the end marker $ may not appear in user production '{production}'"
+                )
+
+    @cached_property
+    def unreachable_nonterminals(self) -> frozenset[Nonterminal]:
+        """Nonterminals not reachable from the start symbol."""
+        reachable: set[Nonterminal] = {self.augmented_start}
+        frontier = [self.augmented_start]
+        while frontier:
+            current = frontier.pop()
+            for production in self.productions_of(current):
+                for symbol in production.rhs:
+                    if isinstance(symbol, Nonterminal) and symbol not in reachable:
+                        reachable.add(symbol)
+                        frontier.append(symbol)
+        return frozenset(set(self.nonterminals) - reachable)
+
+    @cached_property
+    def nonproductive_nonterminals(self) -> frozenset[Nonterminal]:
+        """Nonterminals that cannot derive any terminal string."""
+        productive: set[Nonterminal] = set()
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.lhs in productive:
+                    continue
+                if all(
+                    symbol.is_terminal or symbol in productive
+                    for symbol in production.rhs
+                ):
+                    productive.add(production.lhs)
+                    changed = True
+        return frozenset(set(self.nonterminals) - productive)
+
+    # ------------------------------------------------------------------ #
+    # Dunder conveniences
+
+    def __iter__(self) -> Iterator[Production]:
+        return iter(self.productions)
+
+    def __len__(self) -> int:
+        return len(self.productions)
+
+    def __str__(self) -> str:
+        lines = [f"// grammar {self.name}"]
+        for production in self.user_productions():
+            lines.append(str(production))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Grammar({self.name!r}, {self.num_user_nonterminals} nonterminals, "
+            f"{self.num_user_productions} productions)"
+        )
+
+    def pretty(self) -> str:
+        """Multi-line rendering grouping alternatives per nonterminal."""
+        lines: list[str] = []
+        for nonterminal in self.nonterminals:
+            if nonterminal == self.augmented_start:
+                continue
+            alternatives = [
+                " ".join(str(s) for s in production.rhs) or "/* empty */"
+                for production in self.productions_of(nonterminal)
+            ]
+            lines.append(f"{nonterminal} ::= " + " | ".join(alternatives))
+        return "\n".join(lines)

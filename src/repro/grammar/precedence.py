@@ -1,0 +1,87 @@
+"""Operator precedence and associativity declarations.
+
+LALR parser generators let users resolve shift/reduce conflicts with
+``%left`` / ``%right`` / ``%nonassoc`` declarations (§2.4 of the paper).
+A production's precedence defaults to that of its rightmost terminal, and
+may be overridden per production (the yacc ``%prec`` directive).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.grammar.errors import DuplicateDeclarationError
+from repro.grammar.symbols import Symbol, Terminal
+
+
+class Associativity(enum.Enum):
+    """Associativity of a precedence level."""
+
+    LEFT = "left"
+    RIGHT = "right"
+    NONASSOC = "nonassoc"
+
+
+@dataclass(frozen=True)
+class PrecedenceLevel:
+    """A single precedence level: its rank (higher binds tighter) and associativity."""
+
+    rank: int
+    associativity: Associativity
+
+
+@dataclass
+class PrecedenceTable:
+    """Mapping from terminals to precedence levels.
+
+    Levels are declared lowest-precedence first, mirroring the order of
+    ``%left``/``%right``/``%nonassoc`` lines in a yacc grammar file.
+    """
+
+    _levels: dict[Terminal, PrecedenceLevel] = field(default_factory=dict)
+    _next_rank: int = 1
+
+    def declare(self, associativity: Associativity, terminals: Iterable[Terminal]) -> PrecedenceLevel:
+        """Declare one precedence level for *terminals*; returns the new level."""
+        level = PrecedenceLevel(self._next_rank, associativity)
+        self._next_rank += 1
+        for terminal in terminals:
+            if terminal in self._levels:
+                raise DuplicateDeclarationError(
+                    f"terminal {terminal} already has a precedence level"
+                )
+            self._levels[terminal] = level
+        return level
+
+    def level_of(self, terminal: Terminal) -> PrecedenceLevel | None:
+        """The precedence level of *terminal*, or ``None`` if undeclared."""
+        return self._levels.get(terminal)
+
+    def production_level(
+        self, rhs: Sequence[Symbol], override: Terminal | None = None
+    ) -> PrecedenceLevel | None:
+        """The precedence level of a production with right-hand side *rhs*.
+
+        The ``%prec`` *override* terminal wins if given; otherwise the
+        rightmost terminal of the production determines the level.
+        """
+        if override is not None:
+            return self.level_of(override)
+        for symbol in reversed(rhs):
+            if isinstance(symbol, Terminal):
+                return self.level_of(symbol)
+        return None
+
+    def __contains__(self, terminal: Terminal) -> bool:
+        return terminal in self._levels
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def copy(self) -> "PrecedenceTable":
+        table = PrecedenceTable()
+        table._levels = dict(self._levels)
+        table._next_rank = self._next_rank
+        return table

@@ -1,0 +1,103 @@
+"""Grammar symbols: terminals and nonterminals.
+
+Symbols are small immutable value objects compared by kind and name. Two
+special terminals exist:
+
+* :data:`END_OF_INPUT` — the ``$`` end marker appended by grammar
+  augmentation and used in lookahead sets.
+* There is deliberately *no* epsilon symbol; an empty production is a
+  production whose right-hand side is the empty tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Symbol:
+    """Abstract base for grammar symbols.
+
+    Symbols are interned per name within their class so identity comparison
+    is valid after construction, which keeps the hot paths of automaton
+    construction cheap.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    _instances: dict[str, "Symbol"]
+
+    def __new__(cls, name: str) -> "Symbol":
+        if cls is Symbol:
+            raise TypeError("instantiate Terminal or Nonterminal, not Symbol")
+        try:
+            return cls._instances[name]
+        except KeyError:
+            instance = super().__new__(cls)
+            object.__setattr__(instance, "name", name)
+            object.__setattr__(instance, "_hash", hash((cls.__name__, name)))
+            cls._instances[name] = instance
+            return instance
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._instances = {}
+
+    @property
+    def is_terminal(self) -> bool:
+        return isinstance(self, Terminal)
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return isinstance(self, Nonterminal)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "Symbol") -> bool:
+        """Order symbols for deterministic output: terminals first, then by name."""
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return (self.is_nonterminal, self.name) < (other.is_nonterminal, other.name)
+
+
+class Terminal(Symbol):
+    """A terminal symbol (token) of the grammar."""
+
+    __slots__ = ()
+
+
+class Nonterminal(Symbol):
+    """A nonterminal symbol of the grammar."""
+
+    __slots__ = ()
+
+
+#: The end-of-input marker appended by grammar augmentation.
+END_OF_INPUT = Terminal("$")
+
+SymbolLike = Union[Symbol, str]
+
+
+def as_symbol(value: SymbolLike, nonterminals: frozenset[str] | set[str]) -> Symbol:
+    """Coerce a name to a :class:`Symbol`, resolving by membership in *nonterminals*.
+
+    Names present in *nonterminals* become :class:`Nonterminal`; all others
+    become :class:`Terminal`. Existing symbols pass through unchanged.
+    """
+    if isinstance(value, Symbol):
+        return value
+    if value in nonterminals:
+        return Nonterminal(value)
+    return Terminal(value)

@@ -1,0 +1,217 @@
+"""Grammar hygiene transforms and structural metrics.
+
+Parser generators conventionally warn about or remove *useless* symbols
+before table construction; this module provides those transforms plus the
+structural metrics used by the benchmark reports:
+
+* :func:`remove_unreachable` / :func:`remove_nonproductive` /
+  :func:`reduce_grammar` — the classic useless-symbol eliminations;
+  the reduced grammar derives exactly the same terminal language;
+* :func:`unit_productions` / :func:`left_recursive_nonterminals` /
+  :func:`has_derivation_cycles` — structural probes (a grammar with a
+  derivation cycle ``A =>+ A`` is infinitely ambiguous whenever ``A`` is
+  reachable and productive, which the counterexample machinery surfaces
+  as unifying counterexamples with nested unit derivations);
+* :class:`GrammarMetrics` — the size numbers reported in Table 1 plus a
+  few more for the scalability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.analysis import GrammarAnalysis
+from repro.grammar.grammar import Grammar, Production
+from repro.grammar.symbols import Nonterminal, Symbol, Terminal
+
+
+def _rebuild(grammar: Grammar, keep: set[Nonterminal], name_suffix: str) -> Grammar:
+    """A new grammar containing only productions over *keep* nonterminals."""
+    productions: list[tuple[Nonterminal, tuple[Symbol, ...], Terminal | None]] = []
+    for production in grammar.user_productions():
+        if production.lhs not in keep:
+            continue
+        if any(
+            symbol.is_nonterminal and symbol not in keep
+            for symbol in production.rhs
+        ):
+            continue
+        productions.append(
+            (production.lhs, production.rhs, production.prec_override)
+        )
+    return Grammar(
+        productions,
+        start=grammar.start,
+        precedence=grammar.precedence.copy(),
+        name=f"{grammar.name}{name_suffix}",
+    )
+
+
+def remove_nonproductive(grammar: Grammar) -> Grammar:
+    """Drop nonterminals that cannot derive any terminal string.
+
+    Raises :class:`ValueError` if the start symbol itself is
+    nonproductive (the language would be empty).
+    """
+    nonproductive = grammar.nonproductive_nonterminals
+    if grammar.start in nonproductive:
+        raise ValueError(f"start symbol {grammar.start} derives no terminal string")
+    keep = {
+        nonterminal
+        for nonterminal in grammar.nonterminals
+        if nonterminal not in nonproductive
+    }
+    return _rebuild(grammar, keep, name_suffix="")
+
+
+def remove_unreachable(grammar: Grammar) -> Grammar:
+    """Drop nonterminals not reachable from the start symbol."""
+    unreachable = grammar.unreachable_nonterminals
+    keep = {
+        nonterminal
+        for nonterminal in grammar.nonterminals
+        if nonterminal not in unreachable
+    }
+    return _rebuild(grammar, keep, name_suffix="")
+
+
+def reduce_grammar(grammar: Grammar) -> Grammar:
+    """Remove nonproductive then unreachable symbols (the standard order:
+    removing nonproductive symbols can make others unreachable)."""
+    return remove_unreachable(remove_nonproductive(grammar))
+
+
+# --------------------------------------------------------------------- #
+# Structural probes
+
+
+def unit_productions(grammar: Grammar) -> list[Production]:
+    """Productions of the form ``A -> B`` with ``B`` a nonterminal."""
+    return [
+        production
+        for production in grammar.user_productions()
+        if len(production.rhs) == 1 and production.rhs[0].is_nonterminal
+    ]
+
+
+def left_recursive_nonterminals(grammar: Grammar) -> frozenset[Nonterminal]:
+    """Nonterminals ``A`` with ``A =>+ A γ`` (through nullable prefixes)."""
+    analysis = GrammarAnalysis(grammar)
+    # A directly left-reaches B when some production A -> α B γ has a
+    # nullable α; take the transitive closure and look for self-loops.
+    reaches: dict[Nonterminal, set[Nonterminal]] = {
+        nonterminal: set() for nonterminal in grammar.nonterminals
+    }
+    for production in grammar.productions:
+        for symbol in production.rhs:
+            if symbol.is_nonterminal:
+                reaches[production.lhs].add(symbol)  # type: ignore[arg-type]
+            if not (symbol.is_nonterminal and symbol in analysis.nullable):
+                break
+    changed = True
+    while changed:
+        changed = False
+        for nonterminal, targets in reaches.items():
+            expansion = set()
+            for target in targets:
+                expansion |= reaches[target]
+            before = len(targets)
+            targets |= expansion
+            if len(targets) != before:
+                changed = True
+    return frozenset(
+        nonterminal
+        for nonterminal, targets in reaches.items()
+        if nonterminal in targets
+    )
+
+
+def has_derivation_cycles(grammar: Grammar) -> bool:
+    """Whether some ``A =>+ A`` (unit/epsilon cycling) exists.
+
+    Such a cycle makes the grammar infinitely ambiguous as soon as ``A``
+    participates in a sentence.
+    """
+    analysis = GrammarAnalysis(grammar)
+    # A =>1 B when A -> α B β with α and β nullable.
+    edges: dict[Nonterminal, set[Nonterminal]] = {
+        nonterminal: set() for nonterminal in grammar.nonterminals
+    }
+    for production in grammar.productions:
+        for index, symbol in enumerate(production.rhs):
+            if not symbol.is_nonterminal:
+                continue
+            rest_nullable = all(
+                other.is_nonterminal and other in analysis.nullable
+                for position, other in enumerate(production.rhs)
+                if position != index
+            )
+            if rest_nullable:
+                edges[production.lhs].add(symbol)  # type: ignore[arg-type]
+    # Cycle detection via DFS colouring.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {nonterminal: WHITE for nonterminal in edges}
+
+    def visit(node: Nonterminal) -> bool:
+        colour[node] = GREY
+        for successor in edges[node]:
+            if colour[successor] == GREY:
+                return True
+            if colour[successor] == WHITE and visit(successor):
+                return True
+        colour[node] = BLACK
+        return False
+
+    return any(
+        colour[nonterminal] == WHITE and visit(nonterminal)
+        for nonterminal in list(edges)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Metrics
+
+
+@dataclass(frozen=True)
+class GrammarMetrics:
+    """Structural size/shape numbers for one grammar."""
+
+    nonterminals: int
+    terminals: int
+    productions: int
+    nullable_nonterminals: int
+    unit_productions: int
+    left_recursive: int
+    max_rhs_length: int
+    mean_rhs_length: float
+    has_cycles: bool
+
+    @classmethod
+    def of(cls, grammar: Grammar) -> "GrammarMetrics":
+        analysis = GrammarAnalysis(grammar)
+        user = list(grammar.user_productions())
+        lengths = [len(production.rhs) for production in user]
+        return cls(
+            nonterminals=grammar.num_user_nonterminals,
+            terminals=len([t for t in grammar.terminals if str(t) != "$"]),
+            productions=len(user),
+            nullable_nonterminals=len(
+                [n for n in analysis.nullable if n != grammar.augmented_start]
+            ),
+            unit_productions=len(unit_productions(grammar)),
+            left_recursive=len(left_recursive_nonterminals(grammar)),
+            max_rhs_length=max(lengths, default=0),
+            mean_rhs_length=(sum(lengths) / len(lengths)) if lengths else 0.0,
+            has_cycles=has_derivation_cycles(grammar),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.nonterminals} nonterminals, {self.terminals} terminals, "
+            f"{self.productions} productions "
+            f"(max rhs {self.max_rhs_length}, mean {self.mean_rhs_length:.1f}); "
+            f"{self.nullable_nonterminals} nullable, "
+            f"{self.unit_productions} unit productions, "
+            f"{self.left_recursive} left-recursive"
+            + ("; has derivation cycles" if self.has_cycles else "")
+        )

@@ -1,0 +1,30 @@
+"""Parser runtimes: deterministic LR, Earley (sentential forms), GLR."""
+
+from repro.parsing.earley import EarleyItem, EarleyParser
+from repro.parsing.lexer import LexError, Lexer, Token, keyword_table
+from repro.parsing.glr import GLRParser, TooManyParses
+from repro.parsing.runtime import (
+    ConflictedGrammarError,
+    LRParser,
+    ParseError,
+    TraceEntry,
+)
+from repro.parsing.tree import ParseTree, leaf, node
+
+__all__ = [
+    "ConflictedGrammarError",
+    "EarleyItem",
+    "EarleyParser",
+    "GLRParser",
+    "LRParser",
+    "LexError",
+    "Lexer",
+    "Token",
+    "keyword_table",
+    "ParseError",
+    "ParseTree",
+    "TooManyParses",
+    "TraceEntry",
+    "leaf",
+    "node",
+]

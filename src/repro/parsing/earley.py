@@ -1,0 +1,244 @@
+"""Earley parsing over sentential forms, with derivation counting.
+
+This module is the library's independent ambiguity oracle. The paper's
+counterexamples are *sentential forms* — sequences mixing terminals and
+nonterminals, where a nonterminal leaf stands for itself — so the
+recogniser here treats every grammar symbol as a possible token: an item
+expecting symbol ``X`` can consume token ``X`` directly, and an item
+expecting a nonterminal can also expand it the usual way.
+
+Uses:
+
+* :meth:`EarleyParser.recognizes` — membership of a sentential form in the
+  sentential-form language of a nonterminal;
+* :meth:`EarleyParser.derivations` — enumerate distinct derivation trees
+  (up to a limit), which is how unifying counterexamples are verified to
+  be genuinely ambiguous;
+* the brute-force ambiguity baseline builds on the same counting.
+
+The implementation processes each chart set with a worklist so that
+nullable completions (the Aycock–Horspool subtlety) are handled without
+special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.grammar import (
+    Grammar,
+    Nonterminal,
+    Production,
+    Symbol,
+    Terminal,
+)
+from repro.parsing.tree import ParseTree, leaf, node
+
+
+@dataclass(frozen=True, slots=True)
+class EarleyItem:
+    """A classic Earley item: production, dot, and origin position."""
+
+    production: Production
+    dot: int
+    origin: int
+
+    @property
+    def at_end(self) -> bool:
+        return self.dot == len(self.production.rhs)
+
+    @property
+    def next_symbol(self) -> Symbol | None:
+        if self.at_end:
+            return None
+        return self.production.rhs[self.dot]
+
+    def advance(self) -> "EarleyItem":
+        return EarleyItem(self.production, self.dot + 1, self.origin)
+
+    def __str__(self) -> str:
+        rhs = [str(s) for s in self.production.rhs]
+        rhs.insert(self.dot, "•")
+        return f"({self.production.lhs} ::= {' '.join(rhs)}, {self.origin})"
+
+
+class EarleyParser:
+    """Earley recogniser/enumerator for sentential forms of a grammar."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+
+    # ------------------------------------------------------------------ #
+    # Chart construction
+
+    def _chart(
+        self, root: Nonterminal, tokens: Sequence[Symbol]
+    ) -> list[set[EarleyItem]]:
+        sets: list[set[EarleyItem]] = [set() for _ in range(len(tokens) + 1)]
+
+        def add(index: int, item: EarleyItem, worklist: list[EarleyItem]) -> None:
+            if item not in sets[index]:
+                sets[index].add(item)
+                worklist.append(item)
+
+        for position in range(len(tokens) + 1):
+            if position == 0:
+                for production in self.grammar.productions_of(root):
+                    sets[0].add(EarleyItem(production, 0, 0))
+            # Process the set to a fixpoint. Completions over an empty span
+            # (nullable productions) can enable further completions among
+            # items processed earlier, so the whole set is re-swept until
+            # it stops growing (the Aycock–Horspool subtlety, handled by
+            # brute force — chart sets are small in this library's usage).
+            while True:
+                size_before = len(sets[position])
+                worklist: list[EarleyItem] = list(sets[position])
+                while worklist:
+                    item = worklist.pop()
+                    symbol = item.next_symbol
+                    if symbol is None:
+                        # Completion: advance parents waiting at the origin.
+                        for parent in list(sets[item.origin]):
+                            if parent.next_symbol == item.production.lhs:
+                                add(position, parent.advance(), worklist)
+                        continue
+                    # Scan: a token always matches itself (sentential forms).
+                    if position < len(tokens) and tokens[position] == symbol:
+                        sets[position + 1].add(item.advance())
+                    # Prediction for nonterminals.
+                    if symbol.is_nonterminal:
+                        assert isinstance(symbol, Nonterminal)
+                        for production in self.grammar.productions_of(symbol):
+                            add(position, EarleyItem(production, 0, position), worklist)
+                if len(sets[position]) == size_before:
+                    break
+        return sets
+
+    # ------------------------------------------------------------------ #
+    # Recognition
+
+    def recognizes(self, root: Nonterminal, form: Sequence[Symbol]) -> bool:
+        """Whether *root* derives the sentential form *form* in >= 1 step."""
+        tokens = list(form)
+        sets = self._chart(root, tokens)
+        return any(
+            item.at_end and item.origin == 0 and item.production.lhs == root
+            for item in sets[len(tokens)]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derivation enumeration
+
+    def derivations(
+        self,
+        root: Nonterminal,
+        form: Sequence[Symbol],
+        limit: int = 2,
+    ) -> list[ParseTree]:
+        """Up to *limit* distinct derivation trees of *form* from *root*.
+
+        Each tree's root applies a production of *root* (so the trivial
+        zero-step derivation of the single-symbol form ``[root]`` is not
+        counted). Cyclic grammars can have unboundedly many derivations;
+        enumeration allows each ``(symbol, span)`` to be re-entered at most
+        ``limit + 1`` times along one recursion path, which bounds unit
+        cycling while still producing *limit* distinct cyclic trees.
+        """
+        tokens = list(form)
+        sets = self._chart(root, tokens)
+        length = len(tokens)
+        nullable = self._nullable()
+
+        def min_need(symbol: Symbol) -> int:
+            """Minimum tokens a symbol consumes in a sentential form."""
+            return 0 if symbol in nullable else 1
+
+        # spans[(nonterminal, i)] = all j with a completed derivation i..j.
+        spans: dict[tuple[Nonterminal, int], set[int]] = {}
+        completed: dict[tuple[Nonterminal, int, int], list[Production]] = {}
+        for index, chart_set in enumerate(sets):
+            for item in chart_set:
+                if item.at_end:
+                    lhs = item.production.lhs
+                    assert isinstance(lhs, Nonterminal)
+                    spans.setdefault((lhs, item.origin), set()).add(index)
+                    completed.setdefault((lhs, item.origin, index), []).append(
+                        item.production
+                    )
+
+        found: list[ParseTree] = []
+        seen: set[ParseTree] = set()
+        reentry_limit = limit + 1
+        visiting: dict[tuple[Symbol, int, int], int] = {}
+
+        def symbol_trees(symbol: Symbol, start: int, end: int) -> Iterator[ParseTree]:
+            """All trees deriving tokens[start:end] from *symbol*."""
+            if end == start + 1 and tokens[start] == symbol:
+                yield leaf(symbol)
+            if not symbol.is_nonterminal:
+                return
+            key = (symbol, start, end)
+            if visiting.get(key, 0) >= reentry_limit:
+                return
+            visiting[key] = visiting.get(key, 0) + 1
+            try:
+                assert isinstance(symbol, Nonterminal)
+                for production in completed.get((symbol, start, end), []):
+                    for children in split_trees(production.rhs, 0, start, end):
+                        yield node(production, children)
+            finally:
+                visiting[key] -= 1
+
+        def split_trees(
+            rhs: tuple[Symbol, ...], index: int, start: int, end: int
+        ) -> Iterator[tuple[ParseTree, ...]]:
+            """All ways to derive tokens[start:end] from rhs[index:]."""
+            if index == len(rhs):
+                if start == end:
+                    yield ()
+                return
+            symbol = rhs[index]
+            rest_need = sum(min_need(s) for s in rhs[index + 1 :])
+            ends: set[int] = set()
+            if start < end and tokens[start] == symbol:
+                ends.add(start + 1)
+            if symbol.is_nonterminal:
+                assert isinstance(symbol, Nonterminal)
+                ends.update(j for j in spans.get((symbol, start), ()) if j <= end)
+            for middle in sorted(ends):
+                if end - middle < rest_need:
+                    continue  # the remaining symbols cannot fit
+                for first in symbol_trees(symbol, start, middle):
+                    for rest in split_trees(rhs, index + 1, middle, end):
+                        yield (first,) + rest
+
+        for production in completed.get((root, 0, length), []):
+            for children in split_trees(production.rhs, 0, 0, length):
+                tree = node(production, children)
+                if tree not in seen:
+                    seen.add(tree)
+                    found.append(tree)
+                    if len(found) >= limit:
+                        return found
+        return found
+
+    def _nullable(self) -> frozenset:
+        """Nullable nonterminals, computed once per parser."""
+        cached = getattr(self, "_nullable_cache", None)
+        if cached is None:
+            from repro.grammar import GrammarAnalysis
+
+            cached = GrammarAnalysis(self.grammar).nullable
+            self._nullable_cache = cached
+        return cached
+
+    def count_derivations(
+        self, root: Nonterminal, form: Sequence[Symbol], limit: int = 2
+    ) -> int:
+        """Number of distinct derivation trees, capped at *limit*."""
+        return len(self.derivations(root, form, limit=limit))
+
+    def is_ambiguous_form(self, root: Nonterminal, form: Sequence[Symbol]) -> bool:
+        """Whether *form* has at least two distinct derivations from *root*."""
+        return self.count_derivations(root, form, limit=2) >= 2

@@ -1,0 +1,152 @@
+"""A breadth-first generalized LR parser (paper §8, Tomita 1991).
+
+This is deliberately the *simple* formulation of GLR: the parser keeps a
+set of live ``(state stack, tree stack)`` configurations and explores all
+applicable actions — every reduce whose LALR lookahead matches plus any
+shift — splitting the configuration at conflicts. There is no
+graph-structured stack, so worst-case behaviour is exponential; a
+configurable configuration cap keeps runs bounded. That trade-off is fine
+for this library, where GLR exists to *demonstrate* the runtime cost of
+unresolved ambiguity that the counterexample finder diagnoses statically.
+
+Precedence declarations are honoured: conflicts that the parse tables
+resolved are not re-split; only genuinely unresolved conflicts fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automaton.lalr import LALRAutomaton
+from repro.automaton.tables import Accept, ErrorAction, Reduce, Shift
+from repro.grammar import END_OF_INPUT, Grammar, Production, Terminal
+from repro.parsing.runtime import ParseError
+from repro.parsing.tree import ParseTree, leaf, node
+
+
+class TooManyParses(Exception):
+    """Raised when the live-configuration cap is exceeded."""
+
+
+@dataclass(frozen=True)
+class _Config:
+    states: tuple[int, ...]
+    trees: tuple[ParseTree, ...]
+
+
+class GLRParser:
+    """Breadth-first GLR parser returning *all* parse trees of the input."""
+
+    def __init__(
+        self, source: Grammar | LALRAutomaton, max_configurations: int = 10_000
+    ) -> None:
+        if isinstance(source, LALRAutomaton):
+            self.automaton = source
+        else:
+            self.automaton = LALRAutomaton(source)
+        self.grammar = self.automaton.grammar
+        self.tables = self.automaton.tables
+        self.max_configurations = max_configurations
+        self._actions = self._collect_actions()
+
+    def _collect_actions(self) -> dict[tuple[int, Terminal], list[object]]:
+        """All actions per (state, terminal): the table entry plus conflict alternatives."""
+        actions: dict[tuple[int, Terminal], list[object]] = {}
+        for state_id, row in enumerate(self.tables.action):
+            for terminal, action in row.items():
+                if not isinstance(action, ErrorAction):
+                    actions[(state_id, terminal)] = [action]
+        for conflict in self.tables.conflicts:
+            key = (conflict.state_id, conflict.terminal)
+            alternatives = actions.setdefault(key, [])
+            reduction = Reduce(conflict.reduce_item.production)
+            if reduction not in alternatives:
+                alternatives.append(reduction)
+            if not conflict.is_shift_reduce:
+                other = Reduce(conflict.other_item.production)
+                if other not in alternatives:
+                    alternatives.append(other)
+        return actions
+
+    # ------------------------------------------------------------------ #
+
+    def parse_all(self, tokens) -> list[ParseTree]:
+        """Every parse tree of *tokens*; empty list when the input is rejected."""
+        input_tokens: list[Terminal] = [
+            token if isinstance(token, Terminal) else Terminal(token)
+            for token in tokens
+        ]
+        input_tokens.append(END_OF_INPUT)
+
+        live: set[_Config] = {_Config((0,), ())}
+        accepted: list[ParseTree] = []
+
+        for terminal in input_tokens:
+            # Close over reductions, then shift (or accept) on the terminal.
+            frontier = list(live)
+            closed: set[_Config] = set(live)
+            next_live: set[_Config] = set()
+            while frontier:
+                config = frontier.pop()
+                for action in self._actions.get((config.states[-1], terminal), []):
+                    if isinstance(action, Reduce):
+                        successor = self._reduce(config, action.production)
+                        if successor is not None and successor not in closed:
+                            closed.add(successor)
+                            frontier.append(successor)
+                            if len(closed) > self.max_configurations:
+                                raise TooManyParses(
+                                    f"more than {self.max_configurations} live "
+                                    "GLR configurations"
+                                )
+                    elif isinstance(action, Shift):
+                        next_live.add(
+                            _Config(
+                                config.states + (action.state_id,),
+                                config.trees + (leaf(terminal),),
+                            )
+                        )
+                    elif isinstance(action, Accept):
+                        if len(config.trees) == 1:
+                            accepted.append(config.trees[0])
+            live = next_live
+            if not live and terminal != END_OF_INPUT and not accepted:
+                return []
+
+        # Deduplicate structurally identical trees.
+        unique: list[ParseTree] = []
+        seen: set[ParseTree] = set()
+        for tree in accepted:
+            if tree not in seen:
+                seen.add(tree)
+                unique.append(tree)
+        return unique
+
+    def _reduce(self, config: _Config, production: Production) -> _Config | None:
+        arity = len(production.rhs)
+        if arity > len(config.trees):
+            return None
+        states = config.states[: len(config.states) - arity]
+        children = config.trees[len(config.trees) - arity :] if arity else ()
+        goto_state = self.tables.goto_for(states[-1], production.lhs)
+        if goto_state is None:
+            return None
+        return _Config(
+            states + (goto_state,),
+            config.trees[: len(config.trees) - arity] + (node(production, children),),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def parse(self, tokens) -> ParseTree:
+        """The unique parse of *tokens*; raises on rejection or ambiguity."""
+        trees = self.parse_all(tokens)
+        if not trees:
+            raise ParseError(0, END_OF_INPUT, [], -1)
+        if len(trees) > 1:
+            raise TooManyParses(f"input is ambiguous: {len(trees)} parses")
+        return trees[0]
+
+    def is_ambiguous_input(self, tokens) -> bool:
+        """Whether *tokens* has two or more parses."""
+        return len(self.parse_all(tokens)) >= 2

@@ -1,0 +1,131 @@
+"""A small regex-based lexer, so examples can parse text rather than tokens.
+
+The parser runtimes in this library consume terminal streams. For demos
+and integration tests over the corpus language grammars it is convenient
+to produce those streams from source text; :class:`Lexer` is a classic
+longest-match, first-rule-wins scanner:
+
+* token rules are ``(terminal name, regex)`` pairs tried in order at each
+  position; the longest match wins, ties broken by rule order;
+* keyword tables map an identifier-like match to a keyword terminal;
+* rules with terminal name ``None`` are skipped (whitespace, comments).
+
+Example::
+
+    lexer = Lexer(
+        rules=[(None, r"\\s+"), ("NUM", r"[0-9]+"), ("ID", r"[a-z]+"),
+               ("'+'", r"\\+")],
+        keywords={"if": "IF"},
+    )
+    tokens = lexer.tokenize("if 12 + x")
+
+The terminal-name convention matches the grammar DSL: quoted names like
+``"'+'"`` strip to the symbol ``+``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.grammar import Terminal
+
+
+class LexError(Exception):
+    """No rule matched the input at some position."""
+
+    def __init__(self, text: str, position: int, line: int) -> None:
+        self.position = position
+        self.line = line
+        snippet = text[position : position + 10]
+        super().__init__(f"cannot tokenize at line {line}: {snippet!r}...")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: its terminal, source text, position and line."""
+
+    terminal: Terminal
+    text: str
+    position: int
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.terminal}({self.text!r})"
+
+
+def _strip_quotes(name: str) -> str:
+    if len(name) >= 3 and name[0] == name[-1] and name[0] in "'\"":
+        return name[1:-1]
+    return name
+
+
+class Lexer:
+    """Longest-match, ordered-rule lexer producing :class:`Token` streams."""
+
+    def __init__(
+        self,
+        rules: Sequence[tuple[str | None, str]],
+        keywords: dict[str, str] | None = None,
+    ) -> None:
+        """
+        Args:
+            rules: ``(terminal name or None-to-skip, regex)`` pairs. Names
+                may be quoted (``"'+'"``), matching the grammar DSL.
+            keywords: Maps exact matched text (of any rule) to a keyword
+                terminal name that overrides the rule's terminal.
+        """
+        self._rules: list[tuple[Terminal | None, re.Pattern[str]]] = []
+        for name, pattern in rules:
+            terminal = None if name is None else Terminal(_strip_quotes(name))
+            self._rules.append((terminal, re.compile(pattern)))
+        self._keywords = {
+            text: Terminal(_strip_quotes(name))
+            for text, name in (keywords or {}).items()
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def tokens(self, text: str) -> Iterator[Token]:
+        """Yield tokens; raises :class:`LexError` on untokenizable input."""
+        position = 0
+        line = 1
+        length = len(text)
+        while position < length:
+            best_terminal: Terminal | None = None
+            best_end = position
+            matched = False
+            for terminal, pattern in self._rules:
+                match = pattern.match(text, position)
+                if match is None or match.end() == position:
+                    continue
+                if match.end() > best_end:
+                    matched = True
+                    best_end = match.end()
+                    best_terminal = terminal
+            if not matched:
+                raise LexError(text, position, line)
+            fragment = text[position:best_end]
+            line += fragment.count("\n")
+            if best_terminal is not None:
+                terminal = self._keywords.get(fragment, best_terminal)
+                yield Token(terminal, fragment, position, line)
+            position = best_end
+
+    def tokenize(self, text: str) -> list[Terminal]:
+        """The terminal stream for *text* (what the parsers consume)."""
+        return [token.terminal for token in self.tokens(text)]
+
+
+def keyword_table(*names: str) -> dict[str, str]:
+    """Build a keyword table mapping lowercase spellings to terminals.
+
+    ``keyword_table("SELECT", "FROM")`` maps both ``select`` and ``SELECT``
+    to the ``SELECT`` terminal — convenient for case-insensitive languages.
+    """
+    table: dict[str, str] = {}
+    for name in names:
+        table[name.lower()] = name
+        table[name.upper()] = name
+    return table

@@ -1,0 +1,172 @@
+"""Table-driven LR shift-reduce parser (paper §2.1).
+
+The driver consumes a stream of terminal names or
+:class:`~repro.grammar.symbols.Terminal` objects and produces a
+:class:`~repro.parsing.tree.ParseTree`. It refuses to run on tables with
+unresolved conflicts unless ``allow_conflicts=True`` is passed, in which
+case the yacc defaults baked into the tables apply (shift over reduce,
+earliest production among reduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.automaton.lalr import LALRAutomaton
+from repro.automaton.tables import Accept, ErrorAction, Reduce, Shift
+from repro.grammar import END_OF_INPUT, Grammar, Terminal
+from repro.parsing.tree import ParseTree, leaf, node
+
+
+class ParseError(Exception):
+    """Raised when the input is not in the grammar's language.
+
+    Attributes:
+        position: Index of the offending token in the input.
+        terminal: The offending terminal.
+        expected: Terminals acceptable at this point.
+    """
+
+    def __init__(
+        self,
+        position: int,
+        terminal: Terminal,
+        expected: Sequence[Terminal],
+        state_id: int,
+    ) -> None:
+        self.position = position
+        self.terminal = terminal
+        self.expected = tuple(expected)
+        self.state_id = state_id
+        expected_text = ", ".join(sorted(str(t) for t in expected)) or "<nothing>"
+        super().__init__(
+            f"syntax error at token {position} ({terminal}); "
+            f"in state {state_id}, expected one of: {expected_text}"
+        )
+
+
+class ConflictedGrammarError(Exception):
+    """Raised when constructing a parser over tables with unresolved conflicts."""
+
+
+@dataclass
+class TraceEntry:
+    """One step of a traced parse, for debugging and the examples."""
+
+    state_id: int
+    action: str
+    detail: str
+
+
+class LRParser:
+    """An LALR(1) parser for a grammar."""
+
+    def __init__(
+        self, source: Grammar | LALRAutomaton, allow_conflicts: bool = False
+    ) -> None:
+        if isinstance(source, LALRAutomaton):
+            self.automaton = source
+        else:
+            self.automaton = LALRAutomaton(source)
+        self.grammar = self.automaton.grammar
+        self.tables = self.automaton.tables
+        if self.tables.conflicts and not allow_conflicts:
+            raise ConflictedGrammarError(
+                f"grammar {self.grammar.name!r} has "
+                f"{len(self.tables.conflicts)} unresolved conflicts; "
+                "pass allow_conflicts=True to parse with yacc defaults"
+            )
+
+    @classmethod
+    def from_tables(cls, tables, grammar: Grammar) -> "LRParser":
+        """Build a parser from preconstructed tables (see
+        :mod:`repro.automaton.serialize`) without automaton construction."""
+        parser = cls.__new__(cls)
+        parser.automaton = None  # type: ignore[assignment]
+        parser.grammar = grammar
+        parser.tables = tables
+        return parser
+
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, tokens: Iterable[Terminal | str]) -> list[Terminal]:
+        coerced: list[Terminal] = []
+        for token in tokens:
+            if isinstance(token, Terminal):
+                coerced.append(token)
+            else:
+                coerced.append(Terminal(token))
+        coerced.append(END_OF_INPUT)
+        return coerced
+
+    def parse(
+        self,
+        tokens: Iterable[Terminal | str],
+        trace: list[TraceEntry] | None = None,
+    ) -> ParseTree:
+        """Parse *tokens*, returning the parse tree rooted at the start symbol.
+
+        Args:
+            tokens: Terminals or terminal names, without the end marker.
+            trace: Optional list that receives a :class:`TraceEntry` per
+                parser action.
+        """
+        input_tokens = self._coerce(tokens)
+        state_stack: list[int] = [0]
+        tree_stack: list[ParseTree] = []
+        position = 0
+
+        while True:
+            state_id = state_stack[-1]
+            terminal = input_tokens[position]
+            action = self.tables.action_for(state_id, terminal)
+
+            if action is None or isinstance(action, ErrorAction):
+                expected = [
+                    t
+                    for t, a in self.tables.action[state_id].items()
+                    if not isinstance(a, ErrorAction)
+                ]
+                raise ParseError(position, terminal, expected, state_id)
+
+            if isinstance(action, Shift):
+                if trace is not None:
+                    trace.append(TraceEntry(state_id, "shift", str(terminal)))
+                state_stack.append(action.state_id)
+                tree_stack.append(leaf(terminal))
+                position += 1
+                continue
+
+            if isinstance(action, Reduce):
+                production = action.production
+                arity = len(production.rhs)
+                if trace is not None:
+                    trace.append(TraceEntry(state_id, "reduce", str(production)))
+                children = tree_stack[len(tree_stack) - arity :] if arity else []
+                del tree_stack[len(tree_stack) - arity :]
+                del state_stack[len(state_stack) - arity :]
+                goto_state = self.tables.goto_for(state_stack[-1], production.lhs)
+                if goto_state is None:
+                    raise RuntimeError(
+                        f"corrupt tables: no goto on {production.lhs} "
+                        f"from state {state_stack[-1]}"
+                    )
+                state_stack.append(goto_state)
+                tree_stack.append(node(production, children))
+                continue
+
+            assert isinstance(action, Accept)
+            if trace is not None:
+                trace.append(TraceEntry(state_id, "accept", ""))
+            # The tree stack holds exactly the start symbol's tree.
+            assert len(tree_stack) == 1, "accept with unreduced fragments"
+            return tree_stack[0]
+
+    def accepts(self, tokens: Iterable[Terminal | str]) -> bool:
+        """Whether *tokens* parses without error."""
+        try:
+            self.parse(tokens)
+        except ParseError:
+            return False
+        return True

@@ -1,0 +1,120 @@
+"""Parse trees shared by the LR, GLR, and Earley runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.grammar import Production, Symbol
+
+
+@dataclass(frozen=True)
+class ParseTree:
+    """A parse (sub)tree.
+
+    A leaf has ``production is None`` and no children; its symbol is the
+    token (or, when parsing sentential forms, possibly a nonterminal that
+    matched itself). An interior node records the production applied.
+
+    Hashes are cached bottom-up at construction so that hashing a deep
+    tree is O(1) rather than a deep recursion (the GLR runtime keeps sets
+    of configurations holding arbitrarily deep trees).
+    """
+
+    symbol: Symbol
+    children: tuple["ParseTree", ...] = ()
+    production: Production | None = None
+
+    def __post_init__(self) -> None:
+        if self.production is None and self.children:
+            raise ValueError("leaf nodes cannot have children")
+        if self.production is not None and self.production.lhs != self.symbol:
+            raise ValueError(
+                f"node symbol {self.symbol} does not match production {self.production}"
+            )
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.symbol,
+                    tuple(child._hash for child in self.children),  # type: ignore[attr-defined]
+                    None if self.production is None else self.production.index,
+                )
+            ),
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.production is None
+
+    def leaves(self) -> Iterator["ParseTree"]:
+        """All leaf nodes, left to right (iterative — trees can be deep)."""
+        stack: list[ParseTree] = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(reversed(node.children))
+
+    def leaf_symbols(self) -> tuple[Symbol, ...]:
+        """The yield of the tree as a symbol sequence."""
+        return tuple(leaf.symbol for leaf in self.leaves())
+
+    def size(self) -> int:
+        """Total number of nodes (iterative — trees can be deep)."""
+        count = 0
+        stack: list[ParseTree] = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    def depth(self) -> int:
+        """Height of the tree; a leaf has depth 1 (iterative)."""
+        best = 1
+        stack: list[tuple[ParseTree, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def pretty(self, indent: str = "") -> str:
+        """Indented multi-line rendering."""
+        if self.is_leaf:
+            return f"{indent}{self.symbol}"
+        lines = [f"{indent}{self.symbol}"]
+        for child in self.children:
+            lines.append(child.pretty(indent + "  "))
+        return "\n".join(lines)
+
+    def bracketed(self) -> str:
+        """Single-line rendering with brackets around each production."""
+        if self.is_leaf:
+            return str(self.symbol)
+        inner = " ".join(child.bracketed() for child in self.children)
+        return f"[{self.symbol}: {inner}]" if inner else f"[{self.symbol}: ε]"
+
+    def __str__(self) -> str:
+        return self.bracketed()
+
+
+# Replace the dataclass-generated recursive hash with the cached one.
+ParseTree.__hash__ = lambda self: self._hash  # type: ignore[method-assign, attr-defined]
+
+
+def leaf(symbol: Symbol) -> ParseTree:
+    """A leaf node for *symbol*."""
+    return ParseTree(symbol)
+
+
+def node(production: Production, children: Sequence[ParseTree]) -> ParseTree:
+    """An interior node applying *production* to *children*."""
+    return ParseTree(production.lhs, tuple(children), production)

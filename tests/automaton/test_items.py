@@ -1,0 +1,76 @@
+"""Tests for LR items."""
+
+import pytest
+
+from repro.automaton import Item, end_item, start_item
+from repro.grammar import Nonterminal, Terminal, load_grammar
+
+
+@pytest.fixture
+def production(expr_grammar):
+    return next(p for p in expr_grammar.user_productions() if len(p.rhs) == 3)
+
+
+class TestBasics:
+    def test_dot_bounds(self, production):
+        with pytest.raises(ValueError):
+            Item(production, -1)
+        with pytest.raises(ValueError):
+            Item(production, len(production.rhs) + 1)
+
+    def test_start_and_end(self, production):
+        assert start_item(production).at_start
+        assert end_item(production).at_end
+        assert not start_item(production).at_end
+
+    def test_next_and_previous_symbol(self, production):
+        item = Item(production, 1)
+        assert item.previous_symbol == production.rhs[0]
+        assert item.next_symbol == production.rhs[1]
+        assert end_item(production).next_symbol is None
+        assert start_item(production).previous_symbol is None
+
+    def test_advance_retreat_roundtrip(self, production):
+        item = Item(production, 1)
+        assert item.advance().retreat() == item
+
+    def test_advance_at_end_raises(self, production):
+        with pytest.raises(ValueError):
+            end_item(production).advance()
+
+    def test_retreat_at_start_raises(self, production):
+        with pytest.raises(ValueError):
+            start_item(production).retreat()
+
+    def test_tail(self, production):
+        assert Item(production, 1).tail() == production.rhs[1:]
+        assert end_item(production).tail() == ()
+
+    def test_dot_walk(self, production):
+        walk = list(end_item(production).dot_walk())
+        assert len(walk) == len(production.rhs) + 1
+        assert walk[0].at_start and walk[-1].at_end
+
+
+class TestEqualityAndHash:
+    def test_equal_items_hash_equal(self, production):
+        assert Item(production, 1) == Item(production, 1)
+        assert hash(Item(production, 1)) == hash(Item(production, 1))
+
+    def test_different_dots_differ(self, production):
+        assert Item(production, 0) != Item(production, 1)
+
+    def test_usable_in_sets(self, production):
+        items = {Item(production, 0), Item(production, 0), Item(production, 1)}
+        assert len(items) == 2
+
+
+class TestRendering:
+    def test_str_places_dot(self, expr_grammar):
+        production = next(
+            p for p in expr_grammar.user_productions() if len(p.rhs) == 3
+        )
+        assert "•" in str(Item(production, 1))
+        rendered = str(Item(production, 0))
+        body = rendered.split("::=", 1)[1]
+        assert body.strip().startswith("•")

@@ -1,0 +1,119 @@
+"""Tests for the reverse-action lookup tables."""
+
+import pytest
+
+from repro.automaton import Item, build_lalr
+from repro.grammar import Nonterminal, Terminal
+
+
+@pytest.fixture
+def auto(figure1):
+    return build_lalr(figure1)
+
+
+class TestReverseTransitions:
+    def test_inverts_forward_transitions(self, auto):
+        lookups = auto.lookups
+        for state in auto.states:
+            for item in state.items:
+                if item.dot == 0:
+                    assert lookups.reverse_transitions(state, item) == []
+                    continue
+                for pred_state, pred_item in lookups.reverse_transitions(state, item):
+                    symbol = item.previous_symbol
+                    assert pred_state.transitions[symbol] is state
+                    assert pred_item == item.retreat()
+                    assert pred_item in lookups.item_sets[pred_state.id]
+
+    def test_complete_over_all_predecessors(self, auto):
+        lookups = auto.lookups
+        for state in auto.states:
+            for symbol, predecessors in auto.lr0.predecessors[state.id].items():
+                for item in state.items:
+                    if item.previous_symbol != symbol:
+                        continue
+                    found = {
+                        p.id for p, _ in lookups.reverse_transitions(state, item)
+                    }
+                    expected = {
+                        p.id
+                        for p in predecessors
+                        if item.retreat() in lookups.item_sets[p.id]
+                    }
+                    assert found == expected
+
+
+class TestReverseProductionSteps:
+    def test_only_dot_zero_items(self, auto):
+        lookups = auto.lookups
+        for state in auto.states:
+            for item in state.items:
+                if item.dot > 0:
+                    assert lookups.reverse_production_steps(state, item) == []
+
+    def test_parents_expect_the_lhs(self, auto):
+        lookups = auto.lookups
+        for state in auto.states:
+            for item in state.items:
+                if not item.at_start:
+                    continue
+                for parent in lookups.reverse_production_steps(state, item):
+                    assert parent.next_symbol == item.production.lhs
+                    assert parent in lookups.item_sets[state.id]
+
+    def test_parents_complete(self, auto):
+        lookups = auto.lookups
+        state = auto.start_state
+        num_start = next(
+            item
+            for item in state.items
+            if str(item.production.lhs) == "num" and item.at_start
+        )
+        parents = lookups.reverse_production_steps(state, num_start)
+        parent_lhs = {str(p.production.lhs) for p in parents}
+        # num is produced from expr -> . num and num -> . num DIGIT.
+        assert parent_lhs == {"expr", "num"}
+
+
+class TestReachability:
+    def test_conflict_state_reaches_itself(self, auto):
+        conflict = auto.conflicts[0]
+        state = auto.states[conflict.state_id]
+        states = auto.lookups.states_reaching(state, conflict.reduce_item)
+        assert conflict.state_id in states
+
+    def test_start_state_always_included(self, auto):
+        for conflict in auto.conflicts:
+            state = auto.states[conflict.state_id]
+            states = auto.lookups.states_reaching(state, conflict.reduce_item)
+            assert 0 in states
+
+    def test_pairs_cached(self, auto):
+        conflict = auto.conflicts[0]
+        state = auto.states[conflict.state_id]
+        first = auto.lookups.reaching_pairs(state, conflict.reduce_item)
+        second = auto.lookups.reaching_pairs(state, conflict.reduce_item)
+        assert first is second
+
+    def test_reaching_pairs_closed_under_forward_steps(self, auto):
+        """Every pair in the set can actually step toward the target."""
+        conflict = auto.conflicts[0]
+        target_state = auto.states[conflict.state_id]
+        pairs = auto.lookups.reaching_pairs(target_state, conflict.reduce_item)
+        target = (conflict.state_id, conflict.reduce_item)
+        # Each non-target pair must have a successor inside the set.
+        for state_id, item in pairs:
+            if (state_id, item) == target:
+                continue
+            state = auto.states[state_id]
+            successors = set()
+            symbol = item.next_symbol
+            if symbol is not None:
+                if symbol in state.transitions:
+                    successors.add(
+                        (state.transitions[symbol].id, item.advance())
+                    )
+                if symbol.is_nonterminal:
+                    for production in auto.grammar.productions_of(symbol):
+                        successors.add((state_id, Item(production, 0)))
+            assert successors & set(pairs), f"stranded pair ({state_id}, {item})"

@@ -1,0 +1,76 @@
+"""Tests for the canonical LR(1) construction."""
+
+import pytest
+
+from repro.automaton import LR1Automaton, build_lalr
+from repro.grammar import END_OF_INPUT, Terminal, load_grammar
+
+#: LR(1) but not LALR(1): merging the two d-contexts creates an RR conflict.
+LR1_NOT_LALR = """
+%start S
+S : 'a' A 'd' | 'b' B 'd' | 'a' B 'e' | 'b' A 'e' ;
+A : 'c' ;
+B : 'c' ;
+"""
+
+
+class TestConstruction:
+    def test_start_state(self, expr_grammar):
+        automaton = LR1Automaton(expr_grammar)
+        start = automaton.start_state
+        assert any(
+            item.at_start and lookahead == END_OF_INPUT
+            for item, lookahead in start.kernel
+        )
+
+    def test_more_states_than_lalr(self):
+        grammar = load_grammar(LR1_NOT_LALR)
+        lr1 = LR1Automaton(grammar)
+        lalr = build_lalr(grammar)
+        assert len(lr1) > len(lalr.states)
+
+    def test_state_cap(self, expr_grammar):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            LR1Automaton(expr_grammar, max_states=2)
+
+    def test_cores_are_lr0_states(self, expr_grammar):
+        lr1 = LR1Automaton(expr_grammar)
+        lalr = build_lalr(expr_grammar)
+        lalr_cores = {frozenset(state.items) for state in lalr.states}
+        for state in lr1:
+            assert state.core() in lalr_cores
+
+
+class TestConflictDiscrimination:
+    def test_lr1_not_lalr_grammar(self):
+        """The canonical construction keeps the contexts apart; LALR
+        merging conflates them into a reduce/reduce conflict."""
+        grammar = load_grammar(LR1_NOT_LALR)
+        assert not LR1Automaton(grammar).has_conflicts()
+        assert build_lalr(grammar).conflicts
+
+    def test_ambiguous_grammar_conflicts_everywhere(self, ambiguous_expr):
+        assert LR1Automaton(ambiguous_expr).has_conflicts()
+        assert build_lalr(ambiguous_expr).conflicts
+
+    def test_clean_grammar_conflict_free_everywhere(self, expr_grammar):
+        assert not LR1Automaton(expr_grammar).has_conflicts()
+        assert not build_lalr(expr_grammar).conflicts
+
+
+class TestLookaheads:
+    def test_lookaheads_of(self, expr_grammar):
+        lr1 = LR1Automaton(expr_grammar)
+        start = lr1.start_state
+        for item, _ in start.kernel:
+            assert lr1.start_state.lookaheads_of(item) == frozenset(
+                {END_OF_INPUT}
+            )
+
+    def test_merged_lookaheads_cover_all_items(self, figure1):
+        lr1 = LR1Automaton(figure1)
+        merged = lr1.merged_lookaheads()
+        for state in lr1:
+            core = state.core()
+            for item, lookahead in state.items:
+                assert lookahead in merged[(core, item)]

@@ -1,0 +1,82 @@
+"""Tests for parse-table serialization."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.automaton.serialize import (
+    dump_tables,
+    load_tables,
+    tables_from_dict,
+    tables_to_dict,
+)
+from repro.parsing import LRParser
+
+
+class TestRoundTrip:
+    def test_parser_from_loaded_tables(self, expr_grammar):
+        automaton = build_lalr(expr_grammar)
+        tables, grammar = load_tables(dump_tables(automaton))
+        parser = LRParser.from_tables(tables, grammar)
+        assert parser.accepts(["ID", "+", "ID", "*", "ID"])
+        assert not parser.accepts(["ID", "+"])
+
+    def test_trees_identical(self, expr_grammar):
+        automaton = build_lalr(expr_grammar)
+        direct = LRParser(automaton)
+        tables, grammar = load_tables(dump_tables(automaton))
+        loaded = LRParser.from_tables(tables, grammar)
+        tokens = ["(", "ID", "+", "ID", ")", "*", "ID"]
+        assert (
+            direct.parse(tokens).bracketed() == loaded.parse(tokens).bracketed()
+        )
+
+    def test_precedence_baked_in(self):
+        from repro.grammar import load_grammar
+
+        grammar = load_grammar("%left '+'\ne : e '+' e | ID ;")
+        automaton = build_lalr(grammar)
+        tables, loaded_grammar = load_tables(dump_tables(automaton))
+        parser = LRParser.from_tables(tables, loaded_grammar)
+        tree = parser.parse(["ID", "+", "ID", "+", "ID"])
+        # Left associativity survived: ((ID + ID) + ID).
+        assert len(tree.children[0].children) == 3
+
+    def test_corpus_grammar_roundtrip(self):
+        from repro.corpus.sql import sql_base
+        from repro.corpus.lexers import sql_lexer
+
+        automaton = build_lalr(sql_base())
+        tables, grammar = load_tables(dump_tables(automaton))
+        parser = LRParser.from_tables(tables, grammar)
+        tokens = sql_lexer().tokenize("SELECT a FROM t WHERE x = 1 ;")
+        assert parser.accepts(tokens)
+
+
+class TestSafety:
+    def test_conflicted_tables_refused(self, figure1):
+        automaton = build_lalr(figure1)
+        payload = tables_to_dict(automaton)
+        with pytest.raises(ValueError, match="unresolved conflicts"):
+            tables_from_dict(payload)
+
+    def test_conflicted_tables_opt_in(self, figure1):
+        automaton = build_lalr(figure1)
+        tables, grammar = tables_from_dict(
+            tables_to_dict(automaton), allow_conflicts=True
+        )
+        parser = LRParser.from_tables(tables, grammar)
+        # Yacc defaults are baked into the table entries.
+        assign = "arr [ DIGIT ] := DIGIT".split()
+        assert parser.accepts(
+            ["IF", "DIGIT", "THEN"] + assign
+        )
+
+    def test_version_check(self, expr_grammar):
+        payload = tables_to_dict(build_lalr(expr_grammar))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            tables_from_dict(payload)
+
+    def test_json_stability(self, expr_grammar):
+        automaton = build_lalr(expr_grammar)
+        assert dump_tables(automaton) == dump_tables(automaton)

@@ -1,0 +1,48 @@
+"""Tests for SLR(1) lookaheads and the SLR ⊇ LALR containment."""
+
+import pytest
+
+from repro.automaton import (
+    LR0Automaton,
+    build_lalr,
+    compute_slr_lookaheads,
+    count_slr_conflicts,
+)
+from repro.grammar import GrammarAnalysis, load_grammar
+
+#: A grammar that is LALR(1) but not SLR(1) (classic example:
+#: after 'd', SLR cannot decide between reducing A and shifting,
+#: because FOLLOW(A) over-approximates the viable lookaheads).
+LALR_NOT_SLR = """
+%start S
+S : A 'a' | 'b' A 'c' | 'd' 'c' | 'b' 'd' 'a' ;
+A : 'd' ;
+"""
+
+
+class TestSLRLookaheads:
+    def test_reduce_items_only(self, expr_grammar):
+        lr0 = LR0Automaton(expr_grammar)
+        analysis = GrammarAnalysis(expr_grammar)
+        lookaheads = compute_slr_lookaheads(lr0, analysis)
+        for (state_id, item), _ in lookaheads.items():
+            assert item.at_end
+
+    def test_slr_contains_lalr(self, figure1):
+        auto = build_lalr(figure1)
+        slr = compute_slr_lookaheads(auto.lr0, auto.analysis)
+        for (state_id, item), follow_set in slr.items():
+            if item.production.index == 0:
+                continue
+            assert auto.lookahead(state_id, item) <= follow_set
+
+    def test_lalr_but_not_slr_grammar(self):
+        grammar = load_grammar(LALR_NOT_SLR)
+        auto = build_lalr(grammar)
+        assert not auto.conflicts  # LALR(1): fine
+        assert count_slr_conflicts(auto.lr0, auto.analysis) > 0  # SLR: conflicts
+
+    def test_slr_clean_on_slr_grammar(self, expr_grammar):
+        lr0 = LR0Automaton(expr_grammar)
+        analysis = GrammarAnalysis(expr_grammar)
+        assert count_slr_conflicts(lr0, analysis) == 0

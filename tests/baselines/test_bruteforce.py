@@ -1,0 +1,69 @@
+"""Tests for the brute-force ambiguity detector."""
+
+import pytest
+
+from repro.baselines import BruteForceDetector, find_ambiguity
+from repro.grammar import Nonterminal, load_grammar
+from repro.parsing import EarleyParser
+
+
+class TestAmbiguousGrammars:
+    def test_finds_expression_ambiguity(self, ambiguous_expr):
+        result = find_ambiguity(ambiguous_expr, max_length=8, time_limit=30)
+        assert result.ambiguous
+        assert result.witness is not None
+        assert len(result.parses) == 2
+
+    def test_witness_verified_by_earley(self, ambiguous_expr):
+        result = find_ambiguity(ambiguous_expr, max_length=8, time_limit=30)
+        earley = EarleyParser(ambiguous_expr)
+        assert earley.is_ambiguous_form(ambiguous_expr.start, result.witness)
+
+    def test_finds_dangling_else(self, figure1):
+        result = find_ambiguity(figure1, max_length=12, time_limit=60)
+        assert result.ambiguous
+
+    def test_witness_is_minimal_length_frontier(self, ambiguous_expr):
+        # Breadth-first enumeration finds a witness of minimal length.
+        result = find_ambiguity(ambiguous_expr, max_length=8, time_limit=30)
+        assert len(result.witness) == 5  # ID + ID + ID
+
+    def test_parses_differ(self, ambiguous_expr):
+        result = find_ambiguity(ambiguous_expr, max_length=8, time_limit=30)
+        first, second = result.parses
+        assert first != second
+        assert first.leaf_symbols() == second.leaf_symbols()
+
+
+class TestUnambiguousGrammars:
+    def test_figure3_no_witness(self, figure3):
+        result = find_ambiguity(figure3, max_length=8, time_limit=30)
+        assert not result.ambiguous
+        assert result.witness is None
+
+    def test_expr_grammar_no_witness(self, expr_grammar):
+        result = find_ambiguity(expr_grammar, max_length=6, time_limit=30)
+        assert not result.ambiguous
+
+
+class TestBudgets:
+    def test_time_limit(self, figure1):
+        import time
+
+        detector = BruteForceDetector(figure1, max_length=40, time_limit=0.2)
+        started = time.monotonic()
+        result = detector.run()
+        # Either found quickly or stopped near the budget.
+        assert time.monotonic() - started < 5.0
+
+    def test_form_budget_reports_exhausted(self, expr_grammar):
+        detector = BruteForceDetector(expr_grammar, max_length=30, max_forms=50)
+        result = detector.run()
+        assert not result.ambiguous
+        assert result.exhausted
+
+    def test_stats_populated(self, ambiguous_expr):
+        result = find_ambiguity(ambiguous_expr, max_length=8, time_limit=30)
+        assert result.sentences_checked > 0
+        assert result.forms_expanded > 0
+        assert result.elapsed >= 0

@@ -1,0 +1,76 @@
+"""Shared fixtures: the paper's grammars and a few classics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import Grammar, load_grammar
+
+FIGURE1_TEXT = """
+%grammar figure1
+%start stmt
+stmt : IF expr THEN stmt ELSE stmt
+     | IF expr THEN stmt
+     | expr '?' stmt stmt
+     | arr '[' expr ']' ':=' expr
+     ;
+expr : num | expr '+' expr ;
+num  : DIGIT | num DIGIT ;
+"""
+
+FIGURE3_TEXT = """
+%grammar figure3
+%start S
+S : T | S T ;
+T : X | Y ;
+X : 'a' ;
+Y : 'a' 'a' 'b' ;
+"""
+
+FIGURE7_TEXT = """
+%grammar figure7
+%start S
+S : N | N 'c' ;
+N : 'n' N 'd' | 'n' N 'c' | 'n' A 'b' | 'n' B ;
+A : 'a' ;
+B : 'a' 'b' 'c' | 'a' 'b' 'd' ;
+"""
+
+EXPR_TEXT = """
+%grammar expr
+%start e
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | ID ;
+"""
+
+AMBIG_EXPR_TEXT = """
+%grammar ambiguous-expr
+%start e
+e : e '+' e | e '*' e | ID ;
+"""
+
+
+@pytest.fixture
+def figure1() -> Grammar:
+    return load_grammar(FIGURE1_TEXT)
+
+
+@pytest.fixture
+def figure3() -> Grammar:
+    return load_grammar(FIGURE3_TEXT)
+
+
+@pytest.fixture
+def figure7() -> Grammar:
+    return load_grammar(FIGURE7_TEXT)
+
+
+@pytest.fixture
+def expr_grammar() -> Grammar:
+    return load_grammar(EXPR_TEXT)
+
+
+@pytest.fixture
+def ambiguous_expr() -> Grammar:
+    return load_grammar(AMBIG_EXPR_TEXT)

@@ -1,0 +1,53 @@
+"""Tests for the Counterexample result type."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import CounterexampleFinder, DOT, format_symbols
+
+
+@pytest.fixture
+def reports(figure1):
+    finder = CounterexampleFinder(figure1, time_limit=10.0)
+    return {str(r.conflict.terminal): r for r in finder.explain_all().reports}
+
+
+class TestAccessors:
+    def test_example_symbols_strip_dot(self, reports):
+        example = reports["ELSE"].counterexample
+        with_dot = example.example1()
+        without = example.example1_symbols()
+        assert DOT in with_dot
+        assert DOT not in without
+        assert len(without) == len(with_dot) - 1
+
+    def test_prefix_stops_at_dot(self, reports):
+        example = reports["ELSE"].counterexample
+        prefix = example.prefix()
+        assert [str(s) for s in prefix] == [
+            "IF", "expr", "THEN", "IF", "expr", "THEN", "stmt",
+        ]
+
+    def test_unifying_yields_match(self, reports):
+        for report in reports.values():
+            example = report.counterexample
+            if example.unifying:
+                assert example.example1() == example.example2()
+
+    def test_describe_unifying(self, reports):
+        text = reports["+"].counterexample.describe()
+        assert "Ambiguity detected" in text
+        assert "Derivation using reduction" in text
+
+    def test_describe_nonunifying(self, figure3):
+        finder = CounterexampleFinder(figure3, time_limit=5.0)
+        example = finder.explain_all().reports[0].counterexample
+        text = example.describe()
+        assert "Example using reduction" in text
+        assert "Example using shift" in text
+
+    def test_str_shows_kind(self, reports):
+        assert "unifying" in str(reports["+"].counterexample)
+
+    def test_search_cost_recorded(self, reports):
+        assert reports["+"].counterexample.search_cost > 0

@@ -1,0 +1,138 @@
+"""Tests for the top-level finder and its §6 time policy."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import CounterexampleFinder, explain_conflicts, format_symbols
+from repro.grammar import load_grammar
+from repro.parsing import EarleyParser
+
+
+class TestExplainAll:
+    def test_figure1_all_unifying(self, figure1):
+        summary = CounterexampleFinder(figure1, time_limit=10.0).explain_all()
+        assert summary.num_conflicts == 3
+        assert summary.num_unifying == 3
+        assert summary.num_nonunifying == 0
+        assert summary.num_timeout == 0
+
+    def test_figure3_nonunifying_without_timeout(self, figure3):
+        """The paper reports figure3 as '# nonunif = 1': the restricted
+        search exhausts and determines no unifying counterexample exists."""
+        summary = CounterexampleFinder(figure3, time_limit=10.0).explain_all()
+        assert summary.num_conflicts == 1
+        assert summary.num_unifying == 0
+        assert summary.num_nonunifying == 1
+        assert summary.num_timeout == 0
+        report = summary.reports[0]
+        assert report.stats is not None and report.stats.exhausted
+
+    def test_figure7_all_unifying(self, figure7):
+        summary = CounterexampleFinder(figure7, time_limit=10.0).explain_all()
+        assert summary.num_conflicts == 2
+        assert summary.num_unifying == 2
+
+    def test_conflict_free_grammar(self, expr_grammar):
+        summary = CounterexampleFinder(expr_grammar).explain_all()
+        assert summary.num_conflicts == 0
+        assert summary.reports == []
+
+    def test_average_time(self, figure1):
+        summary = CounterexampleFinder(figure1, time_limit=10.0).explain_all()
+        assert summary.total_time > 0
+        assert summary.average_time == pytest.approx(
+            summary.total_time / summary.num_conflicts
+        )
+
+
+class TestVerification:
+    def test_unifying_examples_verified(self, figure1):
+        finder = CounterexampleFinder(figure1, time_limit=10.0, verify=True)
+        for report in finder.explain_all().reports:
+            if report.counterexample.unifying:
+                assert report.verified is True
+
+    def test_verify_can_be_disabled(self, figure1):
+        finder = CounterexampleFinder(figure1, time_limit=10.0, verify=False)
+        for report in finder.explain_all().reports:
+            assert report.verified is None
+
+
+class TestBudgetPolicy:
+    def test_per_conflict_time_limit_falls_back(self, figure3):
+        finder = CounterexampleFinder(figure3, time_limit=0.2)
+        report = finder.explain(finder.conflicts[0])
+        assert not report.counterexample.unifying
+
+    def test_cumulative_budget_switches_to_nonunifying(self, figure1):
+        # A zero cumulative budget means no unifying searches at all.
+        finder = CounterexampleFinder(figure1, cumulative_limit=0.0)
+        summary = finder.explain_all()
+        assert summary.num_unifying == 0
+        assert summary.num_nonunifying == 3
+        assert all(report.stats is None for report in summary.reports)
+
+    def test_timed_out_flag_propagates(self):
+        # An unambiguous grammar whose restricted search space is too big
+        # to exhaust instantly; with a tiny limit it times out.
+        grammar = load_grammar(
+            "s : t 'x' 'p' | u 'x' 'q' ; t : 'k' ; u : 'k' ;"
+        )
+        finder = CounterexampleFinder(grammar, time_limit=0.0)
+        report = finder.explain(finder.conflicts[0])
+        assert not report.counterexample.unifying
+
+
+class TestExplainConflictsWrapper:
+    def test_formatted_reports(self, figure1):
+        reports = explain_conflicts(figure1, time_limit=10.0)
+        assert len(reports) == 3
+        for text in reports:
+            assert text.startswith("Warning : ***")
+
+    def test_figure11_sample_message(self, figure1):
+        """The paper's Figure 11 error message for the + conflict."""
+        reports = explain_conflicts(figure1, time_limit=10.0)
+        plus_report = next(r for r in reports if "under symbol +" in r)
+        assert "between reduction on expr ::= expr + expr •" in plus_report
+        assert "and shift on expr ::= expr • + expr" in plus_report
+        assert "Ambiguity detected for nonterminal expr" in plus_report
+        assert "Example: expr + expr • + expr" in plus_report
+        assert "expr ::= [expr ::= [expr + expr •] + expr]" in plus_report
+        assert "expr ::= [expr + expr ::= [expr • + expr]]" in plus_report
+
+
+class TestReduceReduceConflicts:
+    def test_rr_unifying(self):
+        # Ambiguous reduce/reduce: two nonterminals derive the same string.
+        grammar = load_grammar("s : a | b ; a : 'q' ; b : 'q' ;")
+        summary = CounterexampleFinder(grammar, time_limit=10.0).explain_all()
+        assert summary.num_conflicts == 1
+        report = summary.reports[0]
+        assert report.counterexample.unifying
+        assert format_symbols(report.counterexample.example1()) == "q •"
+
+    def test_rr_unambiguous(self):
+        grammar = load_grammar(
+            "s : t 'x' 'p' | u 'x' 'q' ; t : 'k' ; u : 'k' ;"
+        )
+        summary = CounterexampleFinder(grammar, time_limit=5.0).explain_all()
+        report = summary.reports[0]
+        assert not report.counterexample.unifying
+
+
+class TestEpsilonConflicts:
+    def test_nullable_ambiguity(self):
+        # Two nullable nonterminals create an ambiguous epsilon conflict.
+        grammar = load_grammar("s : a b 'z' ; a : 'w' | %empty ; b : 'w' | %empty ;")
+        finder = CounterexampleFinder(grammar, time_limit=10.0)
+        summary = finder.explain_all()
+        assert summary.num_conflicts >= 1
+        # w z can be parsed with w in a or in b.
+        earley = EarleyParser(grammar)
+        from repro.grammar import Nonterminal, Terminal
+
+        assert earley.is_ambiguous_form(
+            Nonterminal("s"), [Terminal("w"), Terminal("z")]
+        )
+        assert any(r.counterexample.unifying for r in summary.reports)

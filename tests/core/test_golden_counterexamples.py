@@ -1,0 +1,70 @@
+"""Golden counterexample strings: pin the exact examples the paper prints.
+
+These are the strongest fidelity tests in the suite — the tool must emit
+the very counterexamples the paper shows, character for character (modulo
+our token spellings).
+"""
+
+import pytest
+
+from repro.core import CounterexampleFinder, format_symbols
+from repro.corpus import load
+
+#: (grammar, conflict terminal) -> the paper's counterexample string.
+GOLDEN = {
+    # Figure 11 / §2.4: the + associativity conflict.
+    ("figure1", "+"): "expr + expr • + expr",
+    # §4 / Figure 5: the dangling else.
+    ("figure1", "ELSE"): "IF expr THEN IF expr THEN stmt • ELSE stmt",
+    # §3.1 / §5.2 Stage 4: the challenging conflict.
+    ("figure1", "DIGIT"): "expr ? arr [ expr ] := num • DIGIT DIGIT ? stmt stmt",
+}
+
+#: figure7's two conflicts (§5.2): keyed by the shift item's production.
+GOLDEN_FIGURE7 = {
+    "B ::= a b c": "n a • b c",
+    "B ::= a b d": "n n a • b d c",
+}
+
+
+class TestGoldenStrings:
+    @pytest.fixture(scope="class")
+    def figure1_reports(self):
+        finder = CounterexampleFinder(load("figure1"), time_limit=10.0)
+        return {
+            str(r.conflict.terminal): r.counterexample
+            for r in finder.explain_all().reports
+        }
+
+    @pytest.mark.parametrize(
+        "terminal", ["+", "ELSE", "DIGIT"], ids=["plus", "else", "challenging"]
+    )
+    def test_figure1(self, figure1_reports, terminal):
+        example = figure1_reports[terminal]
+        assert example.unifying
+        assert format_symbols(example.example1()) == GOLDEN[("figure1", terminal)]
+
+    def test_figure7(self):
+        finder = CounterexampleFinder(load("figure7"), time_limit=10.0)
+        for report in finder.explain_all().reports:
+            example = report.counterexample
+            assert example.unifying
+            key = str(report.conflict.other_item.production)
+            assert format_symbols(example.example1()) == GOLDEN_FIGURE7[key]
+
+    def test_figure3_nonunifying_shapes(self):
+        """figure3 (§2.2): reduce side sees 'a • a ...', shift side 'a • a b'."""
+        finder = CounterexampleFinder(load("figure3"), time_limit=10.0)
+        example = finder.explain_all().reports[0].counterexample
+        assert not example.unifying
+        assert format_symbols(example.example1()).startswith("a • a")
+        assert format_symbols(example.example2()) == "a • a b"
+
+    def test_ambfailed01_extended_golden(self):
+        """The §6 tradeoff witness unifies only under -extendedsearch."""
+        finder = CounterexampleFinder(
+            load("ambfailed01"), time_limit=10.0, extended_search=True
+        )
+        example = finder.explain_all().reports[0].counterexample
+        assert example.unifying
+        assert format_symbols(example.example1()) == "Y Y a • p r"

@@ -1,0 +1,140 @@
+"""Tests for the lookahead-sensitive graph and its shortest paths."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import (
+    LookaheadSensitiveGraph,
+    path_prefix_symbols,
+    path_states,
+)
+from repro.grammar import END_OF_INPUT, Terminal
+
+
+@pytest.fixture
+def auto(figure1):
+    return build_lalr(figure1)
+
+
+@pytest.fixture
+def graph(auto):
+    return LookaheadSensitiveGraph(auto)
+
+
+def conflict_on(auto, terminal_name):
+    return next(c for c in auto.conflicts if str(c.terminal) == terminal_name)
+
+
+class TestStartVertex:
+    def test_start_vertex(self, graph):
+        vertex = graph.start_vertex
+        assert vertex.state_id == 0
+        assert vertex.lookahead == frozenset({END_OF_INPUT})
+        assert vertex.item.at_start
+
+
+class TestSuccessors:
+    def test_transition_preserves_lookahead(self, graph):
+        start = graph.start_vertex
+        edges = list(graph.successors(start))
+        transitions = [e for e in edges if not e.is_production_step]
+        assert len(transitions) == 1  # on stmt
+        assert transitions[0].target.lookahead == start.lookahead
+
+    def test_production_steps_use_precise_follow(self, graph):
+        start = graph.start_vertex
+        # START' -> . stmt $: stepping into stmt productions, the precise
+        # lookahead is FIRST($) = {$}.
+        steps = [e for e in graph.successors(start) if e.is_production_step]
+        assert len(steps) == 4  # four stmt productions
+        for edge in steps:
+            assert edge.target.lookahead == frozenset({END_OF_INPUT})
+
+    def test_reduce_item_has_no_successors(self, graph, auto):
+        conflict = conflict_on(auto, "ELSE")
+        vertex_item = conflict.reduce_item
+        from repro.core.lasg import LASGVertex
+
+        vertex = LASGVertex(conflict.state_id, vertex_item, frozenset())
+        assert list(graph.successors(vertex)) == []
+
+
+class TestShortestPath:
+    def test_dangling_else_path_matches_figure5(self, graph, auto):
+        """The paper's Figure 5(a): the shortest lookahead-sensitive path
+        to the dangling-else conflict has prefix
+        IF expr THEN IF expr THEN stmt."""
+        conflict = conflict_on(auto, "ELSE")
+        path = graph.shortest_path(conflict)
+        prefix = [str(s) for s in path_prefix_symbols(path)]
+        assert prefix == ["IF", "expr", "THEN", "IF", "expr", "THEN", "stmt"]
+        # Figure 5(a) shows exactly two [prod] steps: into the outer
+        # if-else production at the start, and into the short if in state 9.
+        production_steps = [e for e in path if e.is_production_step]
+        assert len(production_steps) == 2
+
+    def test_path_edges_are_connected(self, graph, auto):
+        for conflict in auto.conflicts:
+            path = graph.shortest_path(conflict)
+            for before, after in zip(path, path[1:]):
+                assert before.target == after.source
+
+    def test_path_starts_at_start_vertex(self, graph, auto):
+        path = graph.shortest_path(conflict_on(auto, "ELSE"))
+        assert path[0].source == graph.start_vertex
+
+    def test_path_ends_at_conflict_item_with_conflict_lookahead(self, graph, auto):
+        for conflict in auto.conflicts:
+            path = graph.shortest_path(conflict)
+            final = path[-1].target
+            assert final.state_id == conflict.state_id
+            assert final.item == conflict.reduce_item
+            assert conflict.terminal in final.lookahead
+
+    def test_challenging_conflict_prefix(self, graph, auto):
+        """§4: the shortest lookahead-sensitive path for the challenging
+        conflict yields prefix 'expr ? arr [ expr ] := num'."""
+        conflict = conflict_on(auto, "DIGIT")
+        prefix = [str(s) for s in path_prefix_symbols(graph.shortest_path(conflict))]
+        assert prefix == ["expr", "?", "arr", "[", "expr", "]", ":=", "num"]
+
+    def test_lookahead_changes_only_on_production_steps(self, graph, auto):
+        for conflict in auto.conflicts:
+            for edge in graph.shortest_path(conflict):
+                if not edge.is_production_step:
+                    assert edge.source.lookahead == edge.target.lookahead
+
+    def test_path_states_and_prefix_helpers(self, graph, auto):
+        path = graph.shortest_path(conflict_on(auto, "ELSE"))
+        states = path_states(path)
+        assert 0 in states
+        assert conflict_on(auto, "ELSE").state_id in states
+        assert len(path_prefix_symbols(path)) == 7
+
+
+class TestNaiveShortestPathWouldBeWrong:
+    def test_plain_shortest_path_is_shorter_but_invalid(self, graph, auto):
+        """§4's motivation: the plain shortest path to the dangling-else
+        state is 'IF expr THEN stmt' (4 symbols), but at that point the
+        reduce item's precise lookahead cannot contain ELSE; the
+        lookahead-sensitive path is strictly longer."""
+        conflict = conflict_on(auto, "ELSE")
+        # Plain BFS over states, ignoring lookaheads:
+        from collections import deque
+
+        target = conflict.state_id
+        queue = deque([(0, 0)])
+        seen = {0}
+        plain_length = None
+        while queue:
+            state_id, depth = queue.popleft()
+            if state_id == target:
+                plain_length = depth
+                break
+            for symbol, nxt in auto.states[state_id].transitions.items():
+                if nxt.id not in seen:
+                    seen.add(nxt.id)
+                    queue.append((nxt.id, depth + 1))
+        assert plain_length == 4
+        sensitive = path_prefix_symbols(graph.shortest_path(conflict))
+        assert len(sensitive) == 7

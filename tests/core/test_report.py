@@ -1,0 +1,71 @@
+"""Golden tests for the Figure 11 report format."""
+
+import pytest
+
+from repro.core import CounterexampleFinder, format_report
+from repro.grammar import load_grammar
+
+#: The §2.4 conflict whose report the paper's Figure 11 shows (modulo
+#: CUP's token naming: the paper's grammar spells the operator PLUS).
+FIGURE11_GRAMMAR = """
+%grammar figure11
+%start expr
+expr : expr PLUS expr | num ;
+num : DIGIT | num DIGIT ;
+"""
+
+EXPECTED_FRAGMENTS = [
+    "Shift/Reduce conflict found in state #",
+    "between reduction on expr ::= expr PLUS expr •",
+    "and shift on expr ::= expr • PLUS expr",
+    "under symbol PLUS",
+    "Ambiguity detected for nonterminal expr",
+    "Example: expr PLUS expr • PLUS expr",
+    "Derivation using reduction:",
+    "expr ::= [expr ::= [expr PLUS expr •] PLUS expr]",
+    "Derivation using shift:",
+    "expr ::= [expr PLUS expr ::= [expr • PLUS expr]]",
+]
+
+
+class TestFigure11:
+    def test_report_matches_paper(self):
+        grammar = load_grammar(FIGURE11_GRAMMAR)
+        finder = CounterexampleFinder(grammar, time_limit=10.0)
+        reports = [
+            format_report(report)
+            for report in finder.explain_all().reports
+            if str(report.conflict.terminal) == "PLUS"
+        ]
+        assert reports, "expected the PLUS conflict"
+        text = reports[0]
+        for fragment in EXPECTED_FRAGMENTS:
+            assert fragment in text, f"missing: {fragment}\nin:\n{text}"
+
+    def test_nonunifying_report_shape(self, figure3):
+        finder = CounterexampleFinder(figure3, time_limit=5.0)
+        text = format_report(finder.explain_all().reports[0])
+        assert "Example using reduction:" in text
+        assert "Example using shift:" in text
+        assert "Derivation using reduction:" in text
+        assert text.count("•") >= 4  # two examples + two derivations
+
+    def test_timeout_note_present(self):
+        # A grammar whose restricted search neither succeeds nor exhausts
+        # quickly; with a zero budget it reports a timeout.
+        grammar = load_grammar("s : 'a' s 'a' | %empty ;")
+        finder = CounterexampleFinder(grammar, time_limit=0.0)
+        report = finder.explain_all().reports[0]
+        if report.timed_out:
+            assert "time limit" in format_report(report)
+        else:
+            # On very fast machines the bounded space may exhaust first;
+            # either way the counterexample must be nonunifying.
+            assert not report.counterexample.unifying
+
+    def test_reduce_reduce_labels(self):
+        grammar = load_grammar("s : a | b ; a : 'q' ; b : 'q' ;")
+        finder = CounterexampleFinder(grammar, time_limit=5.0)
+        text = format_report(finder.explain_all().reports[0])
+        assert "Reduce/Reduce conflict" in text
+        assert "second reduction" in text

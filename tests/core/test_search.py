@@ -1,0 +1,170 @@
+"""Tests for the unifying-counterexample search (§5)."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import (
+    DOT,
+    LookaheadSensitiveGraph,
+    UnifyingSearch,
+    format_symbols,
+    path_states,
+)
+from repro.grammar import Nonterminal, load_grammar
+from repro.parsing import EarleyParser
+
+
+def search_conflict(grammar, terminal_name=None, extended=False, time_limit=10.0):
+    auto = build_lalr(grammar)
+    if terminal_name is None:
+        conflict = auto.conflicts[0]
+    else:
+        conflict = next(c for c in auto.conflicts if str(c.terminal) == terminal_name)
+    graph = LookaheadSensitiveGraph(auto)
+    allowed = None if extended else path_states(graph.shortest_path(conflict))
+    search = UnifyingSearch(
+        auto, conflict, allowed_prepend_states=allowed, time_limit=time_limit
+    )
+    return search.run(), auto
+
+
+class TestPaperExamples:
+    def test_dangling_else(self, figure1):
+        result, _ = search_conflict(figure1, "ELSE")
+        assert result.succeeded
+        example = result.counterexample
+        assert (
+            format_symbols(example.example1())
+            == "IF expr THEN IF expr THEN stmt • ELSE stmt"
+        )
+        assert str(example.nonterminal) == "stmt"
+
+    def test_plus_associativity(self, figure1):
+        result, _ = search_conflict(figure1, "+")
+        assert result.succeeded
+        example = result.counterexample
+        assert format_symbols(example.example1()) == "expr + expr • + expr"
+        assert str(example.nonterminal) == "expr"
+        # Figure 11's derivations, verbatim.
+        assert example.derivation1.render() == "expr ::= [expr ::= [expr + expr •] + expr]"
+        assert example.derivation2.render() == "expr ::= [expr + expr ::= [expr • + expr]]"
+
+    def test_challenging_conflict(self, figure1):
+        """§3.1/§5.2 Stage 4: the digit/digit unifying counterexample."""
+        result, _ = search_conflict(figure1, "DIGIT")
+        assert result.succeeded
+        example = result.counterexample
+        assert (
+            format_symbols(example.example1())
+            == "expr ? arr [ expr ] := num • DIGIT DIGIT ? stmt stmt"
+        )
+        assert str(example.nonterminal) == "stmt"
+
+    def test_figure7_both_conflicts(self, figure7):
+        auto = build_lalr(figure7)
+        graph = LookaheadSensitiveGraph(auto)
+        examples = []
+        for conflict in auto.conflicts:
+            allowed = path_states(graph.shortest_path(conflict))
+            result = UnifyingSearch(
+                auto, conflict, allowed_prepend_states=allowed, time_limit=10.0
+            ).run()
+            assert result.succeeded
+            examples.append(format_symbols(result.counterexample.example1()))
+        assert "n a • b c" in examples
+        # §5.2: the second shift item needs the longer prefix n n.
+        assert any(e.startswith("n n a • b d") for e in examples)
+
+
+class TestSearchProperties:
+    def test_unifying_yields_agree(self, figure1):
+        for terminal in ("ELSE", "+", "DIGIT"):
+            result, _ = search_conflict(figure1, terminal)
+            example = result.counterexample
+            assert example.example1() == example.example2()
+
+    def test_derivations_differ(self, figure1):
+        for terminal in ("ELSE", "+", "DIGIT"):
+            result, _ = search_conflict(figure1, terminal)
+            example = result.counterexample
+            assert example.derivation1 != example.derivation2
+
+    def test_conflict_terminal_after_dot(self, figure1):
+        for terminal_name in ("ELSE", "+", "DIGIT"):
+            result, _ = search_conflict(figure1, terminal_name)
+            symbols = result.counterexample.example1()
+            position = symbols.index(DOT)
+            assert str(symbols[position + 1]) == terminal_name
+
+    def test_examples_verified_ambiguous_by_earley(self, figure1):
+        earley = EarleyParser(figure1)
+        for terminal in ("ELSE", "+", "DIGIT"):
+            result, _ = search_conflict(figure1, terminal)
+            example = result.counterexample
+            form = example.example1_symbols()
+            assert earley.is_ambiguous_form(example.nonterminal, form)
+
+    def test_stats_populated(self, figure1):
+        result, _ = search_conflict(figure1, "ELSE")
+        assert result.stats.explored > 0
+        assert result.stats.enqueued > 0
+
+
+class TestUnambiguousGrammars:
+    def test_figure3_restricted_search_fails(self, figure3):
+        result, _ = search_conflict(figure3, time_limit=20.0)
+        assert not result.succeeded
+
+    def test_lr2_reduce_reduce_grammar(self):
+        # Unambiguous but needs two tokens of lookahead: after 'k' with
+        # lookahead 'x', reducing to t or u depends on the symbol after x.
+        grammar = load_grammar(
+            "s : t 'x' 'p' | u 'x' 'q' ; t : 'k' ; u : 'k' ;"
+        )
+        auto = build_lalr(grammar)
+        assert auto.conflicts, "expected a reduce/reduce conflict"
+        result, _ = search_conflict(grammar, time_limit=10.0)
+        assert not result.succeeded
+
+
+class TestBudgets:
+    def test_time_limit_respected(self, figure3):
+        import time
+
+        started = time.monotonic()
+        result, _ = search_conflict(figure3, time_limit=0.3)
+        elapsed = time.monotonic() - started
+        assert not result.succeeded
+        assert elapsed < 5.0
+
+    def test_max_configurations(self, figure1):
+        auto = build_lalr(figure1)
+        conflict = next(c for c in auto.conflicts if str(c.terminal) == "DIGIT")
+        search = UnifyingSearch(auto, conflict, max_configurations=10)
+        result = search.run()
+        assert not result.succeeded
+        assert result.stats.timed_out
+
+    def test_max_cost_reports_exhausted(self, figure3):
+        auto = build_lalr(figure3)
+        conflict = auto.conflicts[0]
+        graph = LookaheadSensitiveGraph(auto)
+        allowed = path_states(graph.shortest_path(conflict))
+        search = UnifyingSearch(
+            auto,
+            conflict,
+            allowed_prepend_states=allowed,
+            time_limit=30.0,
+            max_cost=500.0,
+        )
+        result = search.run()
+        assert not result.succeeded
+        assert result.stats.exhausted
+        assert not result.stats.timed_out
+
+
+class TestExtendedSearch:
+    def test_extended_finds_figure1_examples_too(self, figure1):
+        for terminal in ("ELSE", "+"):
+            result, _ = search_conflict(figure1, terminal, extended=True)
+            assert result.succeeded

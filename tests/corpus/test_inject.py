@@ -1,0 +1,51 @@
+"""Tests for the conflict-injection helpers."""
+
+import pytest
+
+from repro.corpus.inject import add_rules, drop_directive, load_variant, replace_rule
+
+BASE = """
+%start s
+%left '+'
+s : e ;
+e : e '+' e | ID ;
+"""
+
+
+class TestAddRules:
+    def test_appends(self):
+        text = add_rules(BASE, "e : e '*' e ;")
+        assert text.rstrip().endswith("e : e '*' e ;")
+
+    def test_result_loads(self):
+        grammar = load_variant(add_rules(BASE, "e : NUM ;"), "variant")
+        assert grammar.name == "variant"
+        assert grammar.num_user_productions == 4
+
+
+class TestDropDirective:
+    def test_removes_line(self):
+        text = drop_directive(BASE, "%left '+'")
+        assert "%left" not in text
+
+    def test_revives_conflict(self):
+        from repro.automaton import build_lalr
+
+        clean = load_variant(BASE, "clean")
+        assert not build_lalr(clean).conflicts
+        broken = load_variant(drop_directive(BASE, "%left '+'"), "broken")
+        assert build_lalr(broken).conflicts
+
+    def test_missing_directive_raises(self):
+        with pytest.raises(ValueError, match="not found"):
+            drop_directive(BASE, "%right '^'")
+
+
+class TestReplaceRule:
+    def test_replaces(self):
+        text = replace_rule(BASE, "e : e '+' e | ID ;", "e : ID ;")
+        assert "'+'" not in text.split("%left")[1].split("\n", 1)[1]
+
+    def test_missing_fragment_raises(self):
+        with pytest.raises(ValueError, match="not found"):
+            replace_rule(BASE, "nope", "x")

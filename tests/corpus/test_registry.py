@@ -1,0 +1,113 @@
+"""Tests for the corpus registry and the small corpus grammars."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.corpus import all_specs, get, load
+
+
+class TestRegistry:
+    def test_all_table1_names_present(self):
+        names = {spec.name for spec in all_specs()}
+        expected = {
+            "figure1", "figure3", "figure7",
+            "abcd", "simp2", "xi", "eqn", "ambfailed01",
+            "java-ext1", "java-ext2",
+            "stackexc01", "stackexc02",
+        }
+        expected |= {f"stackovf{i:02d}" for i in range(1, 11)}
+        expected |= {f"{lang}.{i}" for lang in ("SQL", "Pascal", "C", "Java")
+                     for i in range(1, 6)}
+        assert expected <= names
+
+    def test_categories(self):
+        assert len(all_specs("paper")) == 3
+        assert len(all_specs("ours")) == 7
+        assert len(all_specs("stackoverflow")) == 12
+        assert len(all_specs("bv10")) == 20
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="no corpus grammar"):
+            get("nope")
+
+    def test_load_sets_registry_name(self):
+        grammar = load("figure1")
+        assert grammar.name == "figure1"
+
+    def test_paper_rows_attached(self):
+        for spec in all_specs():
+            assert spec.paper is not None, spec.name
+
+
+class TestSmallGrammarShapes:
+    """Each small grammar's conflict profile matches its Table 1 row in kind."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["figure1", "figure3", "figure7", "abcd", "simp2", "xi", "eqn",
+         "ambfailed01", "stackexc01", "stackexc02"]
+        + [f"stackovf{i:02d}" for i in range(1, 11)],
+    )
+    def test_has_conflicts(self, name):
+        spec = get(name)
+        automaton = build_lalr(spec.load())
+        assert automaton.conflicts, f"{name} should have conflicts"
+
+    @pytest.mark.parametrize(
+        "name,count",
+        [("figure1", 3), ("figure3", 1), ("figure7", 2), ("abcd", 3),
+         ("simp2", 1), ("xi", 6), ("eqn", 1), ("ambfailed01", 1),
+         ("stackexc01", 3), ("stackovf02", 4), ("stackovf08", 8)],
+    )
+    def test_conflict_counts(self, name, count):
+        automaton = build_lalr(get(name).load())
+        assert len(automaton.conflicts) == count
+
+    @pytest.mark.parametrize("name", ["figure1", "figure3", "figure7"])
+    def test_exact_grammars_match_table1_structure(self, name):
+        spec = get(name)
+        assert spec.exact
+        grammar = spec.load()
+        automaton = build_lalr(grammar)
+        row = spec.paper
+        assert len(automaton.states) == row.states
+        assert len(automaton.conflicts) == row.conflicts
+
+
+class TestBV10Bases:
+    """The language base grammars must be conflict-free."""
+
+    def test_sql_base_clean(self):
+        from repro.corpus.sql import sql_base
+
+        assert not build_lalr(sql_base()).conflicts
+
+    def test_pascal_base_clean(self):
+        from repro.corpus.pascal import pascal_base
+
+        assert not build_lalr(pascal_base()).conflicts
+
+    def test_c_base_clean(self):
+        from repro.corpus.c import c_base
+
+        assert not build_lalr(c_base()).conflicts
+
+    def test_java_base_clean(self):
+        from repro.corpus.java import java_base
+
+        assert not build_lalr(java_base()).conflicts
+
+    @pytest.mark.parametrize(
+        "name",
+        [f"{lang}.{i}" for lang in ("SQL", "Pascal", "C") for i in range(1, 6)]
+        + ["Java.1", "Java.3", "Java.5"],
+    )
+    def test_variants_have_conflicts(self, name):
+        automaton = build_lalr(get(name).load())
+        assert automaton.conflicts, f"{name} must have injected conflicts"
+
+    def test_java2_conflict_explosion(self):
+        # The nullable-modifier defect must produce a large conflict count
+        # (the paper's Java.2 has 1133).
+        automaton = build_lalr(get("Java.2").load())
+        assert len(automaton.conflicts) > 100

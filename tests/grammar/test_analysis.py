@@ -1,0 +1,207 @@
+"""Tests for nullable/FIRST/FOLLOW and the derivation oracles."""
+
+import pytest
+
+from repro.grammar import (
+    END_OF_INPUT,
+    GrammarAnalysis,
+    GrammarBuilder,
+    Nonterminal,
+    Terminal,
+    load_grammar,
+)
+
+
+def analyze(text: str) -> GrammarAnalysis:
+    return GrammarAnalysis(load_grammar(text))
+
+
+@pytest.fixture
+def dragon():
+    """The classic nullable/FIRST/FOLLOW example (Dragon book 4.2)."""
+    return analyze(
+        """
+        %start E
+        E : T Ep ;
+        Ep : '+' T Ep | %empty ;
+        T : F Tp ;
+        Tp : '*' F Tp | %empty ;
+        F : '(' E ')' | ID ;
+        """
+    )
+
+
+class TestNullable:
+    def test_dragon_nullable(self, dragon):
+        names = {str(n) for n in dragon.nullable}
+        assert names == {"Ep", "Tp"}
+
+    def test_transitive_nullable(self):
+        analysis = analyze("a : b b ; b : c ; c : %empty ;")
+        assert {str(n) for n in analysis.nullable} == {"a", "b", "c"}
+
+    def test_no_nullable(self, expr_grammar=None):
+        analysis = analyze("s : 'a' ;")
+        assert not analysis.nullable
+
+
+class TestFirst:
+    def test_dragon_first(self, dragon):
+        def first(name):
+            return {str(t) for t in dragon.first[Nonterminal(name)]}
+
+        assert first("E") == {"(", "ID"}
+        assert first("T") == {"(", "ID"}
+        assert first("F") == {"(", "ID"}
+        assert first("Ep") == {"+"}
+        assert first("Tp") == {"*"}
+
+    def test_terminal_first_is_self(self, dragon):
+        assert dragon.first[Terminal("+")] == frozenset({Terminal("+")})
+
+    def test_first_of_sequence_with_nullables(self, dragon):
+        ep, t = Nonterminal("Ep"), Nonterminal("T")
+        first, nullable = dragon.first_of_sequence_ex((ep, t))
+        assert Terminal("+") in first
+        assert Terminal("ID") in first  # reachable because Ep is nullable
+        assert not nullable
+
+    def test_first_of_sequence_tail(self, dragon):
+        ep = Nonterminal("Ep")
+        result = dragon.first_of_sequence((ep,), tail=(Terminal("END"),))
+        assert Terminal("END") in result
+        assert Terminal("+") in result
+
+    def test_empty_sequence_is_tail(self, dragon):
+        assert dragon.first_of_sequence((), tail=(Terminal("x"),)) == frozenset(
+            {Terminal("x")}
+        )
+
+
+class TestFollow:
+    def test_dragon_follow(self, dragon):
+        def follow(name):
+            return {str(t) for t in dragon.follow[Nonterminal(name)]}
+
+        assert follow("E") == {")", "$"}
+        assert follow("Ep") == {")", "$"}
+        assert follow("T") == {"+", ")", "$"}
+        assert follow("Tp") == {"+", ")", "$"}
+        assert follow("F") == {"+", "*", ")", "$"}
+
+    def test_start_followed_by_eof(self, dragon):
+        assert END_OF_INPUT in dragon.follow[Nonterminal("E")]
+
+
+class TestPreciseFollow:
+    def test_last_symbol_returns_context(self, figure1):
+        analysis = GrammarAnalysis(figure1)
+        production = next(
+            p for p in figure1.user_productions() if len(p.rhs) == 6
+        )  # arr [ expr ] := expr
+        context = frozenset({Terminal("DIGIT")})
+        assert analysis.precise_follow(production, 5, context) == context
+
+    def test_terminal_after_next(self, figure1):
+        analysis = GrammarAnalysis(figure1)
+        production = next(
+            p
+            for p in figure1.user_productions()
+            if len(p.rhs) == 6 and str(p.rhs[0]) == "IF"
+        )  # IF expr THEN stmt ELSE stmt
+        # Item: stmt -> IF . expr THEN ...: follow of expr is {THEN}.
+        result = analysis.precise_follow(production, 1, frozenset())
+        assert result == frozenset({Terminal("THEN")})
+
+    def test_requires_symbol_after_dot(self, figure1):
+        analysis = GrammarAnalysis(figure1)
+        production = next(iter(figure1.user_productions()))
+        with pytest.raises(ValueError):
+            analysis.precise_follow(production, len(production.rhs), frozenset())
+
+    def test_nullable_cascade(self):
+        analysis = analyze("s : A opt 'z' ; opt : 'o' | %empty ; A : 'a' ;")
+        production = next(
+            p for p in analysis.grammar.user_productions() if len(p.rhs) == 3
+        )
+        # Item: s -> . A opt 'z': follow of A = FIRST(opt) ∪ FIRST(z).
+        result = analysis.precise_follow(production, 0, frozenset())
+        assert result == frozenset({Terminal("o"), Terminal("z")})
+
+
+class TestExpansionOracles:
+    def test_shortest_expansion_terminal(self, dragon):
+        assert dragon.shortest_expansion(Terminal("+")) == (Terminal("+"),)
+
+    def test_shortest_expansion_nonterminal(self, dragon):
+        assert dragon.shortest_expansion(Nonterminal("F")) == (Terminal("ID"),)
+        assert dragon.shortest_expansion(Nonterminal("E")) == (Terminal("ID"),)
+
+    def test_shortest_expansion_nullable(self, dragon):
+        assert dragon.shortest_expansion(Nonterminal("Ep")) == ()
+
+    def test_shortest_expansion_cyclic_terminates(self):
+        analysis = analyze("s : s | 'a' ;")
+        assert analysis.shortest_expansion(Nonterminal("s")) == (Terminal("a"),)
+
+    def test_shortest_expansion_nonproductive_raises(self):
+        analysis = analyze("s : 'a' | loop ; loop : loop 'x' ;")
+        with pytest.raises(ValueError):
+            analysis.shortest_expansion(Nonterminal("loop"))
+
+    def test_min_yield_length(self, dragon):
+        assert analysisval(dragon, "F") == 1.0
+        assert analysisval(dragon, "Ep") == 0.0
+
+    def test_starter_production(self, dragon):
+        step = dragon.starter_production(Nonterminal("E"), Terminal("("))
+        assert step is not None
+        production, position = step
+        assert production.lhs == Nonterminal("E")
+        assert position == 0
+
+    def test_starter_none_when_not_in_first(self, dragon):
+        assert dragon.starter_production(Nonterminal("E"), Terminal("+")) is None
+
+    def test_starter_skips_nullable_prefix(self):
+        analysis = analyze("s : opt 'z' ; opt : 'o' | %empty ;")
+        step = analysis.starter_production(Nonterminal("s"), Terminal("z"))
+        assert step is not None
+        production, position = step
+        assert position == 1  # opt must derive epsilon first
+
+    def test_nullable_production(self, dragon):
+        production = analysis_nullable(dragon, "Ep")
+        assert production.rhs == ()
+
+
+class TestFirstSymbols:
+    def test_includes_self(self, dragon):
+        assert Nonterminal("E") in dragon.first_symbols[Nonterminal("E")]
+
+    def test_includes_leading_nonterminals(self, dragon):
+        firsts = dragon.first_symbols[Nonterminal("E")]
+        assert Nonterminal("T") in firsts
+        assert Nonterminal("F") in firsts
+        assert Terminal("ID") in firsts
+
+    def test_excludes_non_leading(self, dragon):
+        firsts = dragon.first_symbols[Nonterminal("E")]
+        assert Terminal("+") not in firsts
+
+    def test_nullable_prefix_cascades(self):
+        analysis = analyze("s : opt 'z' ; opt : 'o' | %empty ;")
+        firsts, nullable = analysis.first_symbols_of_sequence(
+            (Nonterminal("opt"), Terminal("z"))
+        )
+        assert Terminal("z") in firsts
+        assert Terminal("o") in firsts
+        assert not nullable
+
+
+def analysisval(analysis: GrammarAnalysis, name: str) -> float:
+    return analysis.min_yield_length(Nonterminal(name))
+
+
+def analysis_nullable(analysis: GrammarAnalysis, name: str):
+    return analysis.nullable_production(Nonterminal(name))

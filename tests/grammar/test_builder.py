@@ -1,0 +1,103 @@
+"""Tests for the programmatic grammar builder."""
+
+import pytest
+
+from repro.grammar import (
+    Associativity,
+    GrammarBuilder,
+    InvalidGrammarError,
+    Nonterminal,
+    Terminal,
+    grammar_from_rules,
+)
+
+
+class TestRuleForms:
+    def test_rhs_as_string(self):
+        grammar = GrammarBuilder().rule("s", "A b c").build()
+        production = next(grammar.user_productions())
+        assert [str(s) for s in production.rhs] == ["A", "b", "c"]
+
+    def test_rhs_as_sequence(self):
+        grammar = GrammarBuilder().rule("s", ["A", "b"]).build()
+        assert len(next(grammar.user_productions()).rhs) == 2
+
+    def test_empty_rhs(self):
+        grammar = GrammarBuilder().rule("s", "").build()
+        assert next(grammar.user_productions()).rhs == ()
+
+    def test_rules_with_alternatives(self):
+        builder = GrammarBuilder()
+        builder.rules("s", "A | B C | %empty")
+        grammar = builder.build()
+        arities = sorted(len(p.rhs) for p in grammar.user_productions())
+        assert arities == [0, 1, 2]
+
+    def test_prec_override(self):
+        builder = GrammarBuilder()
+        builder.rule("e", "MINUS e", prec="UMINUS")
+        builder.rule("e", "ID")
+        grammar = builder.build()
+        production = next(iter(grammar.user_productions()))
+        assert production.prec_override == Terminal("UMINUS")
+
+
+class TestResolution:
+    def test_lhs_names_become_nonterminals(self):
+        builder = GrammarBuilder()
+        builder.rule("s", "t X")
+        builder.rule("t", "Y")
+        grammar = builder.build()
+        assert Nonterminal("t") in grammar.nonterminals
+        assert Terminal("X") in grammar.terminals
+        assert Terminal("Y") in grammar.terminals
+
+    def test_start_defaults_to_first_rule(self):
+        grammar = GrammarBuilder().rule("top", "X").rule("other", "Y").build()
+        assert grammar.start == Nonterminal("top")
+
+    def test_explicit_start(self):
+        grammar = (
+            GrammarBuilder().rule("a", "b").rule("b", "X").start("b").build()
+        )
+        assert grammar.start == Nonterminal("b")
+
+    def test_build_start_argument_wins(self):
+        grammar = GrammarBuilder().rule("a", "X").rule("b", "Y").build(start="b")
+        assert grammar.start == Nonterminal("b")
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(InvalidGrammarError):
+            GrammarBuilder().build()
+
+
+class TestPrecedenceChaining:
+    def test_fluent_levels(self):
+        grammar = (
+            GrammarBuilder()
+            .left("+", "-")
+            .left("*")
+            .right("^")
+            .nonassoc("EQ")
+            .rule("e", "e + e")
+            .rule("e", "ID")
+            .build()
+        )
+        precedence = grammar.precedence
+        assert precedence.level_of(Terminal("+")).associativity is Associativity.LEFT
+        assert precedence.level_of(Terminal("^")).associativity is Associativity.RIGHT
+        assert (
+            precedence.level_of(Terminal("+")).rank
+            < precedence.level_of(Terminal("*")).rank
+            < precedence.level_of(Terminal("^")).rank
+            < precedence.level_of(Terminal("EQ")).rank
+        )
+
+
+class TestGrammarFromRules:
+    def test_shorthand(self):
+        grammar = grammar_from_rules(
+            "pairs", [("s", "A s B"), ("s", "")], start="s"
+        )
+        assert grammar.name == "pairs"
+        assert grammar.num_user_productions == 2

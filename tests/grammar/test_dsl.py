@@ -1,0 +1,155 @@
+"""Tests for the yacc-like grammar DSL."""
+
+import pytest
+
+from repro.grammar import (
+    Associativity,
+    GrammarSyntaxError,
+    Nonterminal,
+    Terminal,
+    load_grammar,
+)
+
+
+class TestBasicParsing:
+    def test_single_rule(self):
+        grammar = load_grammar("s : 'a' ;")
+        assert grammar.num_user_productions == 1
+        assert grammar.start == Nonterminal("s")
+
+    def test_alternatives(self):
+        grammar = load_grammar("s : 'a' | 'b' | 'c' ;")
+        assert grammar.num_user_productions == 3
+
+    def test_epsilon_via_empty_directive(self):
+        grammar = load_grammar("s : 'a' s | %empty ;")
+        productions = grammar.productions_of(Nonterminal("s"))
+        assert any(p.rhs == () for p in productions)
+
+    def test_epsilon_via_bare_alternative(self):
+        grammar = load_grammar("s : 'a' s | ;")
+        productions = grammar.productions_of(Nonterminal("s"))
+        assert any(p.rhs == () for p in productions)
+
+    def test_cup_style_separator(self):
+        grammar = load_grammar("s ::= 'a' ;")
+        assert grammar.num_user_productions == 1
+
+    def test_comments_ignored(self):
+        grammar = load_grammar(
+            """
+            // line comment
+            # hash comment
+            /* block
+               comment */
+            s : 'a' ; // trailing
+            """
+        )
+        assert grammar.num_user_productions == 1
+
+    def test_terminal_vs_nonterminal_inference(self):
+        grammar = load_grammar("s : IF e THEN s ; e : NUM ;")
+        assert Terminal("IF") in grammar.terminals
+        assert Nonterminal("e") in grammar.nonterminals
+
+    def test_quoted_terminals(self):
+        grammar = load_grammar("s : '(' s ')' | ID ;")
+        assert Terminal("(") in grammar.terminals
+        assert Terminal(")") in grammar.terminals
+
+
+class TestDirectives:
+    def test_start_directive(self):
+        grammar = load_grammar("%start b\na : 'x' ;\nb : a ;")
+        assert grammar.start == Nonterminal("b")
+
+    def test_grammar_name_directive(self):
+        grammar = load_grammar("%grammar myname\ns : 'a' ;")
+        assert grammar.name == "myname"
+
+    def test_precedence_directives(self):
+        grammar = load_grammar(
+            """
+            %left '+' '-'
+            %left '*'
+            %right POW
+            %nonassoc EQ
+            e : e '+' e | e '*' e | e POW e | e EQ e | ID ;
+            """
+        )
+        prec = grammar.precedence
+        plus = prec.level_of(Terminal("+"))
+        times = prec.level_of(Terminal("*"))
+        power = prec.level_of(Terminal("POW"))
+        eq = prec.level_of(Terminal("EQ"))
+        assert plus is not None and times is not None
+        assert plus.rank < times.rank < power.rank < eq.rank
+        assert plus.associativity is Associativity.LEFT
+        assert power.associativity is Associativity.RIGHT
+        assert eq.associativity is Associativity.NONASSOC
+
+    def test_prec_override(self):
+        grammar = load_grammar(
+            """
+            %left '-'
+            %right UMINUS
+            e : e '-' e | '-' e %prec UMINUS | ID ;
+            """
+        )
+        unary = next(
+            p for p in grammar.user_productions() if len(p.rhs) == 2
+        )
+        assert unary.prec_override == Terminal("UMINUS")
+
+    def test_token_directive_accepted(self):
+        grammar = load_grammar("%token A B C\ns : A B C ;")
+        assert grammar.num_user_productions == 1
+
+
+class TestErrors:
+    def test_empty_text(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("s : 'a'")
+
+    def test_unknown_directive(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("%bogus\ns : 'a' ;")
+
+    def test_unexpected_character(self):
+        with pytest.raises(GrammarSyntaxError) as info:
+            load_grammar("s : @ ;")
+        assert "line 1" in str(info.value)
+
+    def test_precedence_without_terminals(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("%left\ns : 'a' ;")
+
+    def test_quoted_nonterminal_collision_rejected(self):
+        with pytest.raises(GrammarSyntaxError) as info:
+            load_grammar("s : 'b' ;\nb : 'c' ;")
+        assert "collides" in str(info.value)
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(GrammarSyntaxError) as info:
+            load_grammar("s : 'a' ;\n%bogus\n")
+        assert "line 2" in str(info.value)
+
+
+class TestRoundTrip:
+    def test_figure1_text(self, figure1):
+        assert figure1.name == "figure1"
+        assert figure1.num_user_nonterminals == 3
+        assert figure1.num_user_productions == 8
+
+    def test_load_grammar_file(self, tmp_path):
+        path = tmp_path / "tiny.y"
+        path.write_text("s : 'a' s | %empty ;\n")
+        from repro.grammar import load_grammar_file
+
+        grammar = load_grammar_file(str(path))
+        assert grammar.name == "tiny"
+        assert grammar.num_user_productions == 2

@@ -1,0 +1,129 @@
+"""Tests for Grammar and Production."""
+
+import pytest
+
+from repro.grammar import (
+    END_OF_INPUT,
+    Grammar,
+    GrammarBuilder,
+    InvalidGrammarError,
+    Nonterminal,
+    Production,
+    Terminal,
+    UndefinedSymbolError,
+    grammar_from_rules,
+)
+
+
+def build(name="g", **kwargs):
+    builder = GrammarBuilder(name)
+    builder.rule("s", "A s B")
+    builder.rule("s", "")
+    return builder.build(**kwargs)
+
+
+class TestAugmentation:
+    def test_start_production_prepended(self):
+        grammar = build()
+        start = grammar.start_production
+        assert start.index == 0
+        assert start.lhs == grammar.augmented_start
+        assert start.rhs == (Nonterminal("s"), END_OF_INPUT)
+
+    def test_user_productions_exclude_start(self):
+        grammar = build()
+        assert all(p.index > 0 for p in grammar.user_productions())
+        assert grammar.num_user_productions == 2
+
+    def test_counts_exclude_augmented(self):
+        grammar = build()
+        assert grammar.num_user_nonterminals == 1
+
+    def test_figure1_counts(self):
+        rules = [
+            ("stmt", "IF expr THEN stmt ELSE stmt"),
+            ("stmt", "IF expr THEN stmt"),
+            ("stmt", "expr Q stmt stmt"),
+            ("stmt", "arr LB expr RB ASSIGN expr"),
+            ("expr", "num"),
+            ("expr", "expr PLUS expr"),
+            ("num", "DIGIT"),
+            ("num", "num DIGIT"),
+        ]
+        grammar = grammar_from_rules("figure1", rules)
+        assert grammar.num_user_nonterminals == 3
+        assert grammar.num_user_productions == 8
+
+
+class TestValidation:
+    def test_undefined_nonterminal_rejected(self):
+        with pytest.raises(UndefinedSymbolError):
+            Grammar(
+                [(Nonterminal("s"), (Nonterminal("missing"),), None)],
+                start=Nonterminal("s"),
+            )
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(InvalidGrammarError):
+            Grammar([], start=Nonterminal("s"))
+
+    def test_undefined_start_rejected(self):
+        with pytest.raises(UndefinedSymbolError):
+            Grammar(
+                [(Nonterminal("s"), (Terminal("a"),), None)],
+                start=Nonterminal("other"),
+            )
+
+    def test_eof_in_rhs_rejected(self):
+        with pytest.raises(InvalidGrammarError):
+            Grammar(
+                [(Nonterminal("s"), (END_OF_INPUT,), None)],
+                start=Nonterminal("s"),
+            )
+
+
+class TestHygieneAnalyses:
+    def test_unreachable_detected(self):
+        builder = GrammarBuilder()
+        builder.rule("s", "a")
+        builder.rule("dead", "b")
+        grammar = builder.build(start="s")
+        assert grammar.unreachable_nonterminals == {Nonterminal("dead")}
+
+    def test_nonproductive_detected(self):
+        builder = GrammarBuilder()
+        builder.rule("s", "a")
+        builder.rule("s", "loop")
+        builder.rule("loop", "loop x")
+        grammar = builder.build(start="s")
+        assert grammar.nonproductive_nonterminals == {Nonterminal("loop")}
+
+    def test_clean_grammar_has_no_findings(self, expr_grammar):
+        assert not expr_grammar.unreachable_nonterminals
+        assert not expr_grammar.nonproductive_nonterminals
+
+
+class TestIntrospection:
+    def test_productions_of(self, expr_grammar):
+        e = Nonterminal("e")
+        productions = expr_grammar.productions_of(e)
+        assert len(productions) == 2
+        assert all(p.lhs == e for p in productions)
+
+    def test_productions_of_unknown_is_empty(self, expr_grammar):
+        assert expr_grammar.productions_of(Nonterminal("nope")) == ()
+
+    def test_terminals_and_nonterminals_disjoint(self, figure1):
+        assert not set(figure1.terminals) & set(figure1.nonterminals)
+
+    def test_iteration_and_len(self, expr_grammar):
+        assert len(list(expr_grammar)) == len(expr_grammar)
+
+    def test_str_production(self):
+        grammar = build()
+        production = grammar.productions[2]
+        assert str(production) == "s ::= /* empty */"
+
+    def test_pretty_groups_alternatives(self, expr_grammar):
+        text = expr_grammar.pretty()
+        assert "e ::= e + t | t" in text

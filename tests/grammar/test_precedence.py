@@ -1,0 +1,60 @@
+"""Tests for precedence declarations."""
+
+import pytest
+
+from repro.grammar import (
+    Associativity,
+    DuplicateDeclarationError,
+    PrecedenceTable,
+    Terminal,
+)
+
+
+@pytest.fixture
+def table():
+    table = PrecedenceTable()
+    table.declare(Associativity.LEFT, [Terminal("+"), Terminal("-")])
+    table.declare(Associativity.LEFT, [Terminal("*")])
+    table.declare(Associativity.RIGHT, [Terminal("^")])
+    return table
+
+
+class TestDeclaration:
+    def test_later_levels_bind_tighter(self, table):
+        assert table.level_of(Terminal("+")).rank < table.level_of(Terminal("*")).rank
+        assert table.level_of(Terminal("*")).rank < table.level_of(Terminal("^")).rank
+
+    def test_same_line_same_level(self, table):
+        assert table.level_of(Terminal("+")) == table.level_of(Terminal("-"))
+
+    def test_undeclared_is_none(self, table):
+        assert table.level_of(Terminal("%")) is None
+
+    def test_duplicate_rejected(self, table):
+        with pytest.raises(DuplicateDeclarationError):
+            table.declare(Associativity.RIGHT, [Terminal("+")])
+
+    def test_contains_and_len(self, table):
+        assert Terminal("+") in table
+        assert Terminal("?") not in table
+        assert len(table) == 4
+
+
+class TestProductionLevel:
+    def test_rightmost_terminal_rules(self, table):
+        rhs = (Terminal("+"), Terminal("*"))
+        assert table.production_level(rhs) == table.level_of(Terminal("*"))
+
+    def test_override_wins(self, table):
+        rhs = (Terminal("+"),)
+        level = table.production_level(rhs, override=Terminal("^"))
+        assert level == table.level_of(Terminal("^"))
+
+    def test_no_terminals_is_none(self, table):
+        assert table.production_level(()) is None
+
+    def test_copy_is_independent(self, table):
+        clone = table.copy()
+        clone.declare(Associativity.LEFT, [Terminal("@")])
+        assert Terminal("@") in clone
+        assert Terminal("@") not in table

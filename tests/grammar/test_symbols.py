@@ -1,0 +1,67 @@
+"""Tests for grammar symbols."""
+
+import pytest
+
+from repro.grammar import END_OF_INPUT, Nonterminal, Symbol, Terminal
+from repro.grammar.symbols import as_symbol
+
+
+class TestInterning:
+    def test_same_name_same_object(self):
+        assert Terminal("x") is Terminal("x")
+        assert Nonterminal("x") is Nonterminal("x")
+
+    def test_terminal_and_nonterminal_distinct(self):
+        assert Terminal("x") is not Nonterminal("x")
+        assert Terminal("x") != Nonterminal("x")
+
+    def test_symbol_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            Symbol("x")
+
+
+class TestProperties:
+    def test_kind_predicates(self):
+        assert Terminal("a").is_terminal
+        assert not Terminal("a").is_nonterminal
+        assert Nonterminal("A").is_nonterminal
+        assert not Nonterminal("A").is_terminal
+
+    def test_str_is_name(self):
+        assert str(Terminal("while")) == "while"
+        assert str(Nonterminal("stmt")) == "stmt"
+
+    def test_repr_shows_kind(self):
+        assert repr(Terminal("a")) == "Terminal('a')"
+        assert repr(Nonterminal("A")) == "Nonterminal('A')"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Terminal("a").name = "b"
+
+    def test_end_of_input_is_terminal(self):
+        assert END_OF_INPUT.is_terminal
+        assert str(END_OF_INPUT) == "$"
+
+
+class TestOrdering:
+    def test_terminals_sort_before_nonterminals(self):
+        assert Terminal("z") < Nonterminal("a")
+
+    def test_same_kind_sorts_by_name(self):
+        assert Terminal("a") < Terminal("b")
+        assert Nonterminal("A") < Nonterminal("B")
+
+    def test_sorted_is_deterministic(self):
+        symbols = [Nonterminal("B"), Terminal("x"), Nonterminal("A"), Terminal("a")]
+        assert [str(s) for s in sorted(symbols)] == ["a", "x", "A", "B"]
+
+
+class TestAsSymbol:
+    def test_resolves_by_membership(self):
+        assert as_symbol("stmt", {"stmt"}) == Nonterminal("stmt")
+        assert as_symbol("IF", {"stmt"}) == Terminal("IF")
+
+    def test_passthrough(self):
+        t = Terminal("t")
+        assert as_symbol(t, {"t"}) is t

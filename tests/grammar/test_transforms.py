@@ -1,0 +1,124 @@
+"""Tests for grammar transforms and metrics."""
+
+import pytest
+
+from repro.grammar import GrammarBuilder, Nonterminal, load_grammar
+from repro.grammar.transforms import (
+    GrammarMetrics,
+    has_derivation_cycles,
+    left_recursive_nonterminals,
+    reduce_grammar,
+    remove_nonproductive,
+    remove_unreachable,
+    unit_productions,
+)
+from repro.parsing import EarleyParser
+
+
+def names(symbols):
+    return {str(s) for s in symbols}
+
+
+class TestRemoveNonproductive:
+    def test_drops_nonproductive(self):
+        grammar = load_grammar("s : 'a' | loop ; loop : loop 'x' ;")
+        reduced = remove_nonproductive(grammar)
+        assert "loop" not in names(reduced.nonterminals)
+        assert reduced.num_user_productions == 1
+
+    def test_drops_productions_using_nonproductive(self):
+        grammar = load_grammar("s : 'a' | 'b' loop ; loop : loop 'x' ;")
+        reduced = remove_nonproductive(grammar)
+        assert reduced.num_user_productions == 1
+
+    def test_empty_language_rejected(self):
+        grammar = load_grammar("s : s 'a' ;")
+        with pytest.raises(ValueError, match="no terminal string"):
+            remove_nonproductive(grammar)
+
+    def test_noop_on_clean_grammar(self, expr_grammar):
+        reduced = remove_nonproductive(expr_grammar)
+        assert reduced.num_user_productions == expr_grammar.num_user_productions
+
+
+class TestRemoveUnreachable:
+    def test_drops_unreachable(self):
+        grammar = load_grammar("s : 'a' ; dead : 'b' ;")
+        reduced = remove_unreachable(grammar)
+        assert "dead" not in names(reduced.nonterminals)
+
+    def test_reduce_order_matters(self):
+        # u is productive but only reachable through the nonproductive n.
+        grammar = load_grammar("s : 'a' | n ; n : n u ; u : 'b' ;")
+        reduced = reduce_grammar(grammar)
+        assert names(reduced.nonterminals) == {"START'", "s"}
+
+    def test_language_preserved(self, figure1):
+        reduced = reduce_grammar(figure1)
+        earley_before = EarleyParser(figure1)
+        earley_after = EarleyParser(reduced)
+        from repro.grammar import Terminal
+
+        sample = [Terminal(t) for t in "IF DIGIT THEN arr [ DIGIT ] := DIGIT".split()]
+        assert earley_before.recognizes(figure1.start, sample)
+        assert earley_after.recognizes(reduced.start, sample)
+
+
+class TestStructuralProbes:
+    def test_unit_productions(self, expr_grammar):
+        units = unit_productions(expr_grammar)
+        assert {str(p) for p in units} == {"e ::= t", "t ::= f"}
+
+    def test_left_recursion_direct(self, expr_grammar):
+        assert names(left_recursive_nonterminals(expr_grammar)) == {"e", "t"}
+
+    def test_left_recursion_indirect(self):
+        grammar = load_grammar("aa : bb 'x' | 'a' ; bb : aa 'y' | 'b' ;")
+        assert {"aa", "bb"} <= names(left_recursive_nonterminals(grammar))
+
+    def test_left_recursion_through_nullable(self):
+        grammar = load_grammar("aa : opt aa 'x' | 'z' ; opt : 'o' | %empty ;")
+        assert "aa" in names(left_recursive_nonterminals(grammar))
+
+    def test_no_left_recursion(self):
+        grammar = load_grammar("s : 'a' s | 'b' ;")
+        assert not left_recursive_nonterminals(grammar)
+
+    def test_cycles_detected(self):
+        assert has_derivation_cycles(load_grammar("s : s | 'a' ;"))
+        assert has_derivation_cycles(
+            load_grammar("aa : bb | 'x' ; bb : aa | 'y' ;")
+        )
+
+    def test_cycle_through_nullable_context(self):
+        grammar = load_grammar("aa : opt aa | 'x' ; opt : %empty | 'o' ;")
+        assert has_derivation_cycles(grammar)
+
+    def test_no_cycles(self, expr_grammar, figure1):
+        assert not has_derivation_cycles(expr_grammar)
+        assert not has_derivation_cycles(figure1)
+
+
+class TestMetrics:
+    def test_expr_metrics(self, expr_grammar):
+        metrics = GrammarMetrics.of(expr_grammar)
+        assert metrics.nonterminals == 3
+        assert metrics.productions == 6
+        assert metrics.unit_productions == 2
+        assert metrics.left_recursive == 2
+        assert metrics.max_rhs_length == 3
+        assert not metrics.has_cycles
+        assert metrics.nullable_nonterminals == 0
+
+    def test_describe(self, expr_grammar):
+        text = GrammarMetrics.of(expr_grammar).describe()
+        assert "3 nonterminals" in text
+        assert "6 productions" in text
+
+    def test_corpus_java_metrics(self):
+        from repro.corpus.java import java_base
+
+        metrics = GrammarMetrics.of(java_base())
+        assert metrics.nonterminals == 150
+        assert metrics.productions == 326
+        assert metrics.nullable_nonterminals > 10  # the Opt nonterminals

@@ -1,0 +1,139 @@
+"""Tests for the Earley sentential-form parser and derivation counting."""
+
+import pytest
+
+from repro.grammar import Nonterminal, Terminal, load_grammar
+from repro.parsing import EarleyParser, LRParser
+
+
+def symbols(text: str, grammar):
+    nonterminal_names = {str(n) for n in grammar.nonterminals}
+    result = []
+    for name in text.split():
+        if name in nonterminal_names:
+            result.append(Nonterminal(name))
+        else:
+            result.append(Terminal(name))
+    return result
+
+
+@pytest.fixture
+def earley(expr_grammar):
+    return EarleyParser(expr_grammar)
+
+
+class TestRecognition:
+    def test_terminal_strings(self, expr_grammar, earley):
+        e = Nonterminal("e")
+        assert earley.recognizes(e, symbols("ID + ID", expr_grammar))
+        assert earley.recognizes(e, symbols("( ID ) * ID", expr_grammar))
+        assert not earley.recognizes(e, symbols("ID +", expr_grammar))
+        assert not earley.recognizes(e, symbols("+ ID", expr_grammar))
+
+    def test_sentential_forms(self, expr_grammar, earley):
+        e = Nonterminal("e")
+        assert earley.recognizes(e, symbols("e + t", expr_grammar))
+        assert earley.recognizes(e, symbols("t * f", expr_grammar))
+        assert earley.recognizes(e, symbols("( e )", expr_grammar))
+        assert not earley.recognizes(e, symbols("t + e", expr_grammar))
+
+    def test_single_symbol_needs_a_step(self, expr_grammar, earley):
+        # "e" alone is a zero-step derivation; recognizes() requires >= 1.
+        e = Nonterminal("e")
+        assert earley.recognizes(e, [Nonterminal("t")])
+        assert not earley.recognizes(e, [Nonterminal("e")])
+
+    def test_empty_input(self):
+        grammar = load_grammar("s : 'a' | %empty ;")
+        earley = EarleyParser(grammar)
+        assert earley.recognizes(Nonterminal("s"), [])
+
+    def test_nullable_chains(self):
+        grammar = load_grammar("s : a b 'x' ; a : %empty ; b : a a ;")
+        earley = EarleyParser(grammar)
+        assert earley.recognizes(Nonterminal("s"), [Terminal("x")])
+
+
+class TestAgreementWithLR:
+    """On conflict-free grammars, Earley and LR agree on membership."""
+
+    @pytest.mark.parametrize(
+        "tokens,expected",
+        [
+            ("ID", True),
+            ("ID + ID * ID", True),
+            ("( ID + ID ) * ID", True),
+            ("ID ID", False),
+            ("( )", False),
+            ("ID * * ID", False),
+        ],
+    )
+    def test_membership_agreement(self, expr_grammar, earley, tokens, expected):
+        lr = LRParser(expr_grammar)
+        token_list = tokens.split()
+        assert lr.accepts(token_list) == expected
+        assert (
+            earley.recognizes(expr_grammar.start, symbols(tokens, expr_grammar))
+            == expected
+        )
+
+
+class TestDerivationCounting:
+    def test_unambiguous_counts_one(self, expr_grammar, earley):
+        e = Nonterminal("e")
+        assert earley.count_derivations(e, symbols("ID + ID", expr_grammar), 5) == 1
+
+    def test_classic_ambiguity(self, ambiguous_expr):
+        earley = EarleyParser(ambiguous_expr)
+        e = Nonterminal("e")
+        form = symbols("ID + ID + ID", ambiguous_expr)
+        assert earley.count_derivations(e, form, limit=5) == 2
+        assert earley.is_ambiguous_form(e, form)
+
+    def test_mixed_operator_ambiguity(self, ambiguous_expr):
+        earley = EarleyParser(ambiguous_expr)
+        e = Nonterminal("e")
+        form = symbols("ID + ID * ID", ambiguous_expr)
+        assert earley.is_ambiguous_form(e, form)
+
+    def test_sentential_form_ambiguity(self, ambiguous_expr):
+        earley = EarleyParser(ambiguous_expr)
+        e = Nonterminal("e")
+        form = [e, Terminal("+"), e, Terminal("+"), e]
+        trees = earley.derivations(e, form, limit=10)
+        assert len(trees) == 2
+        renderings = {t.bracketed() for t in trees}
+        assert len(renderings) == 2
+
+    def test_dangling_else_counterexample(self, figure1):
+        earley = EarleyParser(figure1)
+        stmt = Nonterminal("stmt")
+        form = symbols("IF expr THEN IF expr THEN stmt ELSE stmt", figure1)
+        assert earley.is_ambiguous_form(stmt, form)
+
+    def test_dangling_else_unambiguous_form(self, figure1):
+        earley = EarleyParser(figure1)
+        stmt = Nonterminal("stmt")
+        form = symbols("IF expr THEN stmt ELSE stmt", figure1)
+        assert earley.count_derivations(stmt, form, limit=5) == 1
+
+    def test_limit_caps_enumeration(self, ambiguous_expr):
+        earley = EarleyParser(ambiguous_expr)
+        e = Nonterminal("e")
+        form = symbols("ID + ID + ID + ID + ID", ambiguous_expr)
+        assert earley.count_derivations(e, form, limit=3) == 3
+
+    def test_cyclic_grammar_terminates(self):
+        grammar = load_grammar("s : s | 'a' ;")
+        earley = EarleyParser(grammar)
+        trees = earley.derivations(Nonterminal("s"), [Terminal("a")], limit=4)
+        # a, s -> [s -> a], s -> [s -> [s -> a]], ... up to the cap.
+        assert len(trees) == 4
+
+    def test_trees_are_valid_derivations(self, ambiguous_expr):
+        earley = EarleyParser(ambiguous_expr)
+        e = Nonterminal("e")
+        form = symbols("ID + ID + ID", ambiguous_expr)
+        for tree in earley.derivations(e, form, limit=5):
+            assert tree.symbol == e
+            assert list(tree.leaf_symbols()) == form

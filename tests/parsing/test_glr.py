@@ -1,0 +1,76 @@
+"""Tests for the breadth-first GLR parser."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.parsing import GLRParser, ParseError, TooManyParses
+
+
+class TestDeterministicGrammars:
+    def test_agrees_with_lr(self, expr_grammar):
+        glr = GLRParser(expr_grammar)
+        tree = glr.parse(["ID", "+", "ID", "*", "ID"])
+        assert [str(s) for s in tree.leaf_symbols()] == ["ID", "+", "ID", "*", "ID"]
+
+    def test_single_parse_on_unambiguous(self, expr_grammar):
+        glr = GLRParser(expr_grammar)
+        assert len(glr.parse_all(["(", "ID", ")", "*", "ID"])) == 1
+
+    def test_rejects_invalid(self, expr_grammar):
+        glr = GLRParser(expr_grammar)
+        assert glr.parse_all(["ID", "+"]) == []
+        with pytest.raises(ParseError):
+            glr.parse(["ID", "+"])
+
+
+class TestAmbiguousGrammars:
+    def test_two_parses_for_associativity(self, ambiguous_expr):
+        glr = GLRParser(ambiguous_expr)
+        trees = glr.parse_all(["ID", "+", "ID", "+", "ID"])
+        assert len(trees) == 2
+        assert glr.is_ambiguous_input(["ID", "+", "ID", "+", "ID"])
+
+    def test_parse_raises_on_ambiguity(self, ambiguous_expr):
+        glr = GLRParser(ambiguous_expr)
+        with pytest.raises(TooManyParses):
+            glr.parse(["ID", "+", "ID", "+", "ID"])
+
+    def test_catalan_growth(self, ambiguous_expr):
+        glr = GLRParser(ambiguous_expr)
+        # Parses of ID (+ ID)^n follow the Catalan numbers: 1, 2, 5, 14.
+        counts = [
+            len(glr.parse_all(["ID"] + ["+", "ID"] * n)) for n in range(1, 5)
+        ]
+        assert counts == [1, 2, 5, 14]
+
+    def test_dangling_else_two_parses(self, figure1):
+        glr = GLRParser(figure1)
+        assign = "arr [ DIGIT ] := DIGIT".split()
+        tokens = (
+            ["IF", "DIGIT", "THEN", "IF", "DIGIT", "THEN"]
+            + assign
+            + ["ELSE"]
+            + assign
+        )
+        assert len(glr.parse_all(tokens)) == 2
+
+    def test_unambiguous_input_of_ambiguous_grammar(self, figure1):
+        glr = GLRParser(figure1)
+        tokens = ["IF", "DIGIT", "THEN"] + "arr [ DIGIT ] := DIGIT".split()
+        assert len(glr.parse_all(tokens)) == 1
+
+    def test_configuration_cap(self, ambiguous_expr):
+        glr = GLRParser(ambiguous_expr, max_configurations=3)
+        with pytest.raises(TooManyParses):
+            glr.parse_all(["ID"] + ["+", "ID"] * 8)
+
+
+class TestNonLALRUnambiguous:
+    def test_lr2_grammar_single_parse(self, figure3):
+        # figure3 is unambiguous but not LALR(1); GLR still yields exactly
+        # one parse for every valid input.
+        glr = GLRParser(figure3)
+        assert len(glr.parse_all(["a"])) == 1
+        assert len(glr.parse_all(["a", "a", "b"])) == 1
+        assert len(glr.parse_all(["a", "a", "a", "b"])) == 1
+        assert glr.parse_all(["a", "b"]) == []

@@ -1,0 +1,38 @@
+"""GLR behaviour on pathological (cyclic / infinitely ambiguous) grammars."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.parsing import GLRParser, TooManyParses
+
+
+class TestCyclicGrammars:
+    def test_unit_cycle_hits_cap_not_hang(self):
+        # s =>+ s: infinitely many parses of "a"; the configuration cap
+        # must fire instead of looping or recursing to death.
+        grammar = load_grammar("s : s | 'a' ;")
+        glr = GLRParser(grammar, max_configurations=500)
+        with pytest.raises(TooManyParses):
+            glr.parse_all(["a"])
+
+    def test_epsilon_cycle_hits_cap(self):
+        grammar = load_grammar("s : opt s 'a' | 'a' ; opt : %empty ;")
+        glr = GLRParser(grammar, max_configurations=2000)
+        try:
+            parses = glr.parse_all(["a", "a"])
+        except TooManyParses:
+            return  # acceptable: the cap fired
+        assert len(parses) >= 1
+
+    def test_deep_nesting_has_cheap_hashes(self):
+        # Deeply nested parse trees must hash in O(1): build a 2000-deep
+        # tree via nested parentheses and hash it.
+        grammar = load_grammar("e : '(' e ')' | ID ;")
+        from repro.parsing import LRParser
+
+        parser = LRParser(grammar)
+        depth = 2000
+        tokens = ["("] * depth + ["ID"] + [")"] * depth
+        tree = parser.parse(tokens)
+        assert isinstance(hash(tree), int)
+        assert tree.depth() == depth + 2

@@ -1,0 +1,88 @@
+"""Tests for the regex lexer."""
+
+import pytest
+
+from repro.grammar import Terminal
+from repro.parsing.lexer import LexError, Lexer, Token, keyword_table
+
+
+@pytest.fixture
+def lexer():
+    return Lexer(
+        rules=[
+            (None, r"\s+"),
+            (None, r"#[^\n]*"),
+            ("NUM", r"[0-9]+"),
+            ("ID", r"[a-zA-Z_][a-zA-Z0-9_]*"),
+            ("'<='", r"<="),
+            ("'<'", r"<"),
+            ("'+'", r"\+"),
+        ],
+        keywords={"if": "IF", "then": "THEN"},
+    )
+
+
+class TestTokenization:
+    def test_basic_stream(self, lexer):
+        names = [str(t) for t in lexer.tokenize("x + 12")]
+        assert names == ["ID", "+", "NUM"]
+
+    def test_whitespace_and_comments_skipped(self, lexer):
+        assert [str(t) for t in lexer.tokenize("  x # comment\n y ")] == ["ID", "ID"]
+
+    def test_longest_match_wins(self, lexer):
+        assert [str(t) for t in lexer.tokenize("a<=b")] == ["ID", "<=", "ID"]
+        assert [str(t) for t in lexer.tokenize("a<b")] == ["ID", "<", "ID"]
+
+    def test_keywords_override(self, lexer):
+        assert [str(t) for t in lexer.tokenize("if iffy then")] == [
+            "IF",
+            "ID",
+            "THEN",
+        ]
+
+    def test_quoted_rule_names_strip(self, lexer):
+        tokens = lexer.tokenize("+")
+        assert tokens == [Terminal("+")]
+
+    def test_lex_error(self, lexer):
+        with pytest.raises(LexError, match="line 2"):
+            lexer.tokenize("x\n@")
+
+    def test_token_metadata(self, lexer):
+        tokens = list(lexer.tokens("ab 12"))
+        assert tokens[0].text == "ab" and tokens[0].position == 0
+        assert tokens[1].text == "12" and tokens[1].position == 3
+        assert all(token.line == 1 for token in tokens)
+
+    def test_empty_input(self, lexer):
+        assert lexer.tokenize("") == []
+
+
+class TestKeywordTable:
+    def test_both_cases(self):
+        table = keyword_table("SELECT", "FROM")
+        assert table["select"] == "SELECT"
+        assert table["SELECT"] == "SELECT"
+        assert table["from"] == "FROM"
+
+
+class TestEndToEnd:
+    def test_lexer_feeds_parser(self, expr_grammar):
+        from repro.parsing import LRParser
+
+        lexer = Lexer(
+            rules=[
+                (None, r"\s+"),
+                ("ID", r"[a-z]+"),
+                ("'+'", r"\+"),
+                ("'*'", r"\*"),
+                ("'('", r"\("),
+                ("')'", r"\)"),
+            ]
+        )
+        parser = LRParser(expr_grammar)
+        tree = parser.parse(lexer.tokenize("(a + b) * c"))
+        assert [str(s) for s in tree.leaf_symbols()] == [
+            "(", "ID", "+", "ID", ")", "*", "ID",
+        ]

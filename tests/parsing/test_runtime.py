@@ -1,0 +1,123 @@
+"""Tests for the table-driven LR parser."""
+
+import pytest
+
+from repro.grammar import Terminal, load_grammar
+from repro.parsing import (
+    ConflictedGrammarError,
+    LRParser,
+    ParseError,
+    TraceEntry,
+)
+
+
+@pytest.fixture
+def parser(expr_grammar):
+    return LRParser(expr_grammar)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "tokens",
+        [
+            ["ID"],
+            ["ID", "+", "ID"],
+            ["ID", "*", "ID", "+", "ID"],
+            ["(", "ID", ")"],
+            ["(", "ID", "+", "ID", ")", "*", "ID"],
+        ],
+    )
+    def test_accepts_valid(self, parser, tokens):
+        assert parser.accepts(tokens)
+
+    @pytest.mark.parametrize(
+        "tokens",
+        [
+            [],
+            ["+"],
+            ["ID", "+"],
+            ["ID", "ID"],
+            ["(", "ID"],
+            ["ID", ")"],
+        ],
+    )
+    def test_rejects_invalid(self, parser, tokens):
+        assert not parser.accepts(tokens)
+
+    def test_terminal_objects_accepted(self, parser):
+        assert parser.accepts([Terminal("ID"), Terminal("+"), Terminal("ID")])
+
+
+class TestTrees:
+    def test_tree_yield_is_input(self, parser):
+        tokens = ["ID", "+", "ID", "*", "ID"]
+        tree = parser.parse(tokens)
+        leaves = [str(s) for s in tree.leaf_symbols()]
+        assert leaves == tokens
+
+    def test_precedence_shape(self, parser):
+        # ID + ID * ID: the * binds tighter in this stratified grammar.
+        tree = parser.parse(["ID", "+", "ID", "*", "ID"])
+        assert str(tree.symbol) == "e"
+        assert str(tree.children[0].symbol) == "e"
+        assert str(tree.children[2].symbol) == "t"
+        assert len(tree.children[2].children) == 3  # t * f
+
+    def test_left_associativity_shape(self):
+        grammar = load_grammar("%left '+'\ne : e '+' e | ID ;")
+        tree = LRParser(grammar).parse(["ID", "+", "ID", "+", "ID"])
+        # Left associativity: ((ID + ID) + ID).
+        assert len(tree.children[0].children) == 3
+        assert tree.children[2].is_leaf or len(tree.children[2].children) == 1
+
+    def test_tree_metrics(self, parser):
+        tree = parser.parse(["ID"])
+        assert tree.size() >= 4  # e -> t -> f -> ID
+        assert tree.depth() == 4
+        assert tree.bracketed().count("[") == 3
+
+
+class TestErrors:
+    def test_parse_error_details(self, parser):
+        with pytest.raises(ParseError) as info:
+            parser.parse(["ID", "+", "+"])
+        error = info.value
+        assert error.position == 2
+        assert str(error.terminal) == "+"
+        assert any(str(t) in ("ID", "(") for t in error.expected)
+
+    def test_error_message_mentions_expected(self, parser):
+        with pytest.raises(ParseError, match="expected one of"):
+            parser.parse(["+"])
+
+    def test_conflicted_grammar_rejected(self, figure1):
+        with pytest.raises(ConflictedGrammarError):
+            LRParser(figure1)
+
+    def test_conflicted_grammar_with_defaults(self, figure1):
+        parser = LRParser(figure1, allow_conflicts=True)
+        # Yacc defaults (shift wins): the dangling else parses.
+        assign = "arr [ DIGIT ] := DIGIT".split()
+        tokens = (
+            ["IF", "DIGIT", "THEN", "IF", "DIGIT", "THEN"]
+            + assign
+            + ["ELSE"]
+            + assign
+        )
+        assert parser.accepts(tokens)
+
+
+class TestTrace:
+    def test_trace_records_actions(self, parser):
+        trace: list[TraceEntry] = []
+        parser.parse(["ID", "+", "ID"], trace=trace)
+        kinds = [entry.action for entry in trace]
+        assert kinds.count("shift") == 3
+        assert kinds[-1] == "accept"
+        assert "reduce" in kinds
+
+    def test_trace_reductions_name_productions(self, parser):
+        trace: list[TraceEntry] = []
+        parser.parse(["ID"], trace=trace)
+        reduce_details = [e.detail for e in trace if e.action == "reduce"]
+        assert any("f ::= ID" in d for d in reduce_details)

@@ -1,0 +1,97 @@
+"""Property-based tests on LR automaton construction."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.automaton import LR1Automaton, build_lalr
+from repro.grammar import GrammarBuilder
+
+NONTERMINALS = ["n0", "n1", "n2"]
+TERMINALS = ["a", "b", "c"]
+
+
+@st.composite
+def random_grammars(draw):
+    builder = GrammarBuilder("random")
+    for lhs in NONTERMINALS:
+        count = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(count):
+            length = draw(st.integers(min_value=0, max_value=3))
+            rhs = [
+                draw(st.sampled_from(NONTERMINALS + TERMINALS))
+                for _ in range(length)
+            ]
+            builder.rule(lhs, rhs)
+    return builder.build(start="n0")
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_lalr_lookaheads_equal_merged_lr1(grammar):
+    """The fundamental LALR property: per LR(0) core, LALR lookaheads are
+    the union of canonical LR(1) lookaheads."""
+    lalr = build_lalr(grammar)
+    try:
+        lr1 = LR1Automaton(grammar, max_states=1500)
+    except RuntimeError:
+        assume(False)  # canonical construction exploded; skip
+        return
+    merged = lr1.merged_lookaheads()
+    lr1_cores = {state.core() for state in lr1.states}
+    for state in lalr.states:
+        core = frozenset(state.items)
+        if core not in lr1_cores:
+            continue  # unreachable under LR(1)? cannot happen; defensive
+        for item in state.items:
+            assert lalr.lookahead(state, item) == merged[(core, item)]
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_transitions_partition_items(grammar):
+    """Every non-reduce item of a state advances into the successor state."""
+    automaton = build_lalr(grammar)
+    for state in automaton.states:
+        for item in state.items:
+            symbol = item.next_symbol
+            if symbol is None:
+                continue
+            successor = state.transitions[symbol]
+            assert item.advance() in successor.kernel
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_reverse_lookups_invert_forward_edges(grammar):
+    automaton = build_lalr(grammar)
+    lookups = automaton.lookups
+    for state in automaton.states:
+        for item in state.items:
+            for pred_state, pred_item in lookups.reverse_transitions(state, item):
+                assert pred_item.advance() == item
+                assert pred_state.transitions[item.previous_symbol] is state
+            for parent in lookups.reverse_production_steps(state, item):
+                assert parent.next_symbol == item.production.lhs
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_conflicts_iff_nondeterminism(grammar):
+    """A state/terminal pair is conflicted iff it admits two distinct moves."""
+    automaton = build_lalr(grammar)
+    conflicted = {(c.state_id, c.terminal) for c in automaton.conflicts}
+    for state in automaton.states:
+        for terminal in automaton.grammar.terminals:
+            moves = 0
+            if terminal in state.transitions:
+                moves += 1
+            for item in state.reduce_items():
+                if item.production.index == 0:
+                    continue
+                if terminal in automaton.lookahead(state, item):
+                    moves += 1
+            if moves >= 2:
+                assert (state.id, terminal) in conflicted
+            else:
+                assert (state.id, terminal) not in conflicted

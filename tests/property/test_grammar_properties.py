@@ -1,0 +1,121 @@
+"""Property-based tests on grammar analyses over random CFGs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.grammar import (
+    GrammarAnalysis,
+    GrammarBuilder,
+    Nonterminal,
+    Terminal,
+)
+from repro.parsing import EarleyParser
+
+NONTERMINALS = ["n0", "n1", "n2", "n3"]
+TERMINALS = ["a", "b", "c"]
+
+
+@st.composite
+def random_grammars(draw):
+    """Small random CFGs over a fixed symbol pool.
+
+    Every nonterminal gets at least one production; right-hand sides are
+    random symbol strings of length 0–4. Nonproductive grammars are
+    filtered out by the caller where needed.
+    """
+    builder = GrammarBuilder("random")
+    for lhs in NONTERMINALS:
+        count = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(count):
+            length = draw(st.integers(min_value=0, max_value=4))
+            rhs = [
+                draw(st.sampled_from(NONTERMINALS + TERMINALS))
+                for _ in range(length)
+            ]
+            builder.rule(lhs, rhs)
+    return builder.build(start="n0")
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_nullable_iff_derives_epsilon(grammar):
+    """N is nullable iff the Earley oracle derives the empty string from N."""
+    analysis = GrammarAnalysis(grammar)
+    earley = EarleyParser(grammar)
+    for nonterminal in grammar.nonterminals:
+        if nonterminal == grammar.augmented_start:
+            continue
+        assert (nonterminal in analysis.nullable) == earley.recognizes(
+            nonterminal, []
+        ) or (
+            # recognizes() needs >= 1 step; a nullable nonterminal always
+            # has one, so the equivalence is exact.
+            False
+        )
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_first_is_fixpoint(grammar):
+    """FIRST(N) equals the union of FIRST over N's production bodies."""
+    analysis = GrammarAnalysis(grammar)
+    for nonterminal in grammar.nonterminals:
+        expected = set()
+        for production in grammar.productions_of(nonterminal):
+            expected |= analysis.first_of_sequence(production.rhs)
+        assert analysis.first[nonterminal] == frozenset(expected)
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_shortest_expansion_is_derivable_and_minimal(grammar):
+    """shortest_expansion produces a derivable string of minimal length."""
+    analysis = GrammarAnalysis(grammar)
+    earley = EarleyParser(grammar)
+    for nonterminal in grammar.nonterminals:
+        if nonterminal == grammar.augmented_start:
+            continue
+        if nonterminal in grammar.nonproductive_nonterminals:
+            with pytest.raises(ValueError):
+                analysis.shortest_expansion(nonterminal)
+            continue
+        expansion = analysis.shortest_expansion(nonterminal)
+        assert len(expansion) == analysis.min_yield_length(nonterminal)
+        if expansion:
+            assert earley.recognizes(nonterminal, expansion)
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_starter_productions_agree_with_first(grammar):
+    """starter_production exists exactly for (N, t) pairs with t in FIRST(N)."""
+    analysis = GrammarAnalysis(grammar)
+    for nonterminal in grammar.nonterminals:
+        if nonterminal == grammar.augmented_start:
+            continue
+        for name in TERMINALS:
+            terminal = Terminal(name)
+            step = analysis.starter_production(nonterminal, terminal)
+            if terminal in analysis.first[nonterminal]:
+                assert step is not None
+                production, position = step
+                assert production.lhs == nonterminal
+                # The prefix before the pivot must be nullable.
+                for symbol in production.rhs[:position]:
+                    assert symbol in analysis.nullable
+            else:
+                assert step is None
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_first_symbols_contains_first_terminals(grammar):
+    """Symbol-level FIRST restricted to terminals equals classic FIRST."""
+    analysis = GrammarAnalysis(grammar)
+    for nonterminal in grammar.nonterminals:
+        terminal_part = {
+            s for s in analysis.first_symbols[nonterminal] if s.is_terminal
+        }
+        assert terminal_part == set(analysis.first[nonterminal])

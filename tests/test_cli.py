@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def grammar_file(tmp_path):
+    path = tmp_path / "dangling.y"
+    path.write_text(
+        """
+        %start stmt
+        stmt : IF expr THEN stmt ELSE stmt
+             | IF expr THEN stmt
+             | ID ':=' expr ;
+        expr : ID ;
+        """
+    )
+    return str(path)
+
+
+class TestCLI:
+    def test_conflicted_grammar_reports(self, grammar_file, capsys):
+        exit_code = main([grammar_file])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "Shift/Reduce conflict" in output
+        assert "Ambiguity detected" in output
+        assert "1 conflicts" in output
+
+    def test_clean_grammar(self, tmp_path, capsys):
+        path = tmp_path / "clean.y"
+        path.write_text("s : 'a' s 'b' | %empty ;")
+        assert main([str(path)]) == 0
+        assert "no conflicts" in capsys.readouterr().out
+
+    def test_corpus_grammar(self, capsys):
+        exit_code = main(["--corpus", "figure7", "--quiet"])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "2 conflicts" in output
+        assert "2 unifying" in output
+
+    def test_unknown_corpus(self, capsys):
+        assert main(["--corpus", "bogus"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_arguments(self, capsys):
+        assert main([]) == 2
+
+    def test_bad_grammar_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.y"
+        path.write_text("s : @@@")
+        assert main([str(path)]) == 2
+
+    def test_list_corpus(self, capsys):
+        assert main(["--list-corpus"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert "SQL.1" in output
+
+    def test_states_flag(self, grammar_file, capsys):
+        main([grammar_file, "--states", "--quiet"])
+        output = capsys.readouterr().out
+        assert "State 0" in output
+
+    def test_extendedsearch_flag(self, capsys):
+        exit_code = main(["--corpus", "ambfailed01", "--extendedsearch", "--quiet"])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "1 unifying" in output
+
+    def test_restricted_misses_ambfailed01(self, capsys):
+        main(["--corpus", "ambfailed01", "--quiet"])
+        output = capsys.readouterr().out
+        assert "0 unifying" in output
