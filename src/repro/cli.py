@@ -75,11 +75,78 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    fuzz = parser.add_argument_group("differential fuzzing")
+    fuzz.add_argument(
+        "--fuzz",
+        type=int,
+        metavar="N",
+        help=(
+            "run N differential fuzzing iterations (random grammars through "
+            "the oracle, finder, and validator) instead of analysing a grammar"
+        ),
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed for --fuzz; iteration i uses seed S+i (default: 0)",
+    )
+    fuzz.add_argument(
+        "--fuzz-report",
+        metavar="FILE",
+        help="also write the full fuzz report to FILE",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing grammars as generated, without minimisation",
+    )
     return parser
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import run_fuzz_campaign
+
+    if args.fuzz <= 0:
+        print("error: --fuzz requires a positive iteration count", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, report) -> None:
+        if args.quiet:
+            return
+        stride = max(1, total // 10)
+        if done % stride == 0 or done == total:
+            print(
+                f"  fuzz {done}/{total}: {report.conflicts} conflicts, "
+                f"{report.counterexamples_validated} validated, "
+                f"{len(report.fatal_failures)} fatal failures",
+                flush=True,
+            )
+
+    report = run_fuzz_campaign(
+        args.fuzz,
+        seed=args.seed,
+        progress=progress,
+        shrink=not args.no_shrink,
+    )
+    text = report.describe()
+    print(text)
+    if args.fuzz_report:
+        try:
+            with open(args.fuzz_report, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            print(f"error: cannot write fuzz report: {error}", file=sys.stderr)
+            return 2
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.fuzz is not None:
+        return _run_fuzz(args)
 
     if args.list_corpus:
         from repro.corpus import all_specs

@@ -29,7 +29,7 @@ from repro.core.lasg import LookaheadSensitiveGraph, path_states
 from repro.core.nonunifying import NonunifyingBuilder
 from repro.core.search import SearchStats, UnifyingSearch
 from repro.grammar import Grammar
-from repro.parsing.earley import EarleyParser
+from repro.parsing.earley import DerivationBudgetExceeded, EarleyParser
 
 
 @dataclass
@@ -78,6 +78,7 @@ class CounterexampleFinder:
         extended_search: bool = False,
         verify: bool = True,
         max_configurations: int = 2_000_000,
+        verify_step_budget: int | None = 1_000_000,
     ) -> None:
         """
         Args:
@@ -92,6 +93,11 @@ class CounterexampleFinder:
                 oracle; unverifiable candidates are demoted to the
                 nonunifying fallback.
             max_configurations: Hard cap per unifying search.
+            verify_step_budget: Step cap for the Earley verification pass;
+                a candidate whose ambiguity cannot be confirmed within the
+                budget is demoted like any other unverifiable one. Highly
+                ambiguous cyclic grammars otherwise make the exhaustive
+                derivation count blow up.
         """
         if isinstance(source, LALRAutomaton):
             self.automaton = source
@@ -102,6 +108,7 @@ class CounterexampleFinder:
         self.cumulative_limit = cumulative_limit
         self.extended_search = extended_search
         self.verify = verify
+        self.verify_step_budget = verify_step_budget
         self.max_configurations = max_configurations
 
         self.graph = LookaheadSensitiveGraph(self.automaton)
@@ -203,7 +210,12 @@ class CounterexampleFinder:
             return False
         nonterminal = candidate.nonterminal
         assert nonterminal is not None
-        return self._earley.is_ambiguous_form(nonterminal, yield1)
+        try:
+            return self._earley.is_ambiguous_form(
+                nonterminal, yield1, step_budget=self.verify_step_budget
+            )
+        except DerivationBudgetExceeded:
+            return False
 
 
 def explain_conflicts(

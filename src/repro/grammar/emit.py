@@ -37,10 +37,12 @@ def _emit_name(symbol: Symbol) -> str:
 def dump_grammar(grammar: Grammar) -> str:
     """Render *grammar* as DSL text accepted by ``load_grammar``.
 
-    The rendering groups productions by nonterminal in first-appearance
-    order and reproduces the start symbol, name, precedence levels, and
-    ``%prec`` overrides. ``load_grammar(dump_grammar(g))`` yields a
-    grammar with identical productions, start symbol, and precedence
+    Productions are emitted in index order, starting a new rule block
+    whenever the left-hand side changes — never regrouped by
+    nonterminal. Production order is semantically significant (yacc
+    defaults resolve reduce/reduce conflicts in favour of the *earliest*
+    production), so ``load_grammar(dump_grammar(g))`` yields a grammar
+    with identical production indices, start symbol, and precedence
     behaviour.
     """
     name = grammar.name
@@ -63,17 +65,24 @@ def dump_grammar(grammar: Grammar) -> str:
         lines.append(f"%{associativity.value} {names}")
 
     lines.append("")
-    for nonterminal in grammar.nonterminals:
-        if nonterminal == grammar.augmented_start:
-            continue
-        alternatives: list[str] = []
-        for production in grammar.productions_of(nonterminal):
-            body = " ".join(_emit_name(symbol) for symbol in production.rhs)
-            if not production.rhs:
-                body = "%empty"
-            if production.prec_override is not None:
-                body += f" %prec {_emit_name(production.prec_override)}"
-            alternatives.append(body)
-        joined = "\n     | ".join(alternatives)
-        lines.append(f"{nonterminal} : {joined}\n     ;")
+    current_lhs = None
+    alternatives: list[str] = []
+
+    def flush() -> None:
+        if current_lhs is not None:
+            joined = "\n     | ".join(alternatives)
+            lines.append(f"{current_lhs} : {joined}\n     ;")
+
+    for production in grammar.user_productions():
+        if production.lhs != current_lhs:
+            flush()
+            current_lhs = production.lhs
+            alternatives = []
+        body = " ".join(_emit_name(symbol) for symbol in production.rhs)
+        if not production.rhs:
+            body = "%empty"
+        if production.prec_override is not None:
+            body += f" %prec {_emit_name(production.prec_override)}"
+        alternatives.append(body)
+    flush()
     return "\n".join(lines) + "\n"

@@ -1,18 +1,20 @@
 """Parser runtimes: deterministic LR, Earley (sentential forms), GLR."""
 
-from repro.parsing.earley import EarleyItem, EarleyParser
+from repro.parsing.earley import DerivationBudgetExceeded, EarleyItem, EarleyParser
 from repro.parsing.lexer import LexError, Lexer, Token, keyword_table
 from repro.parsing.glr import GLRParser, TooManyParses
 from repro.parsing.runtime import (
     ConflictedGrammarError,
     LRParser,
     ParseError,
+    ParserLoopError,
     TraceEntry,
 )
 from repro.parsing.tree import ParseTree, leaf, node
 
 __all__ = [
     "ConflictedGrammarError",
+    "DerivationBudgetExceeded",
     "EarleyItem",
     "EarleyParser",
     "GLRParser",
@@ -23,6 +25,7 @@ __all__ = [
     "keyword_table",
     "ParseError",
     "ParseTree",
+    "ParserLoopError",
     "TooManyParses",
     "TraceEntry",
     "leaf",

@@ -36,6 +36,17 @@ from repro.grammar import (
 from repro.parsing.tree import ParseTree, leaf, node
 
 
+class DerivationBudgetExceeded(Exception):
+    """Derivation enumeration ran out of its step budget.
+
+    Highly ambiguous cyclic grammars admit combinatorially many split
+    points; when a form has fewer distinct derivations than the requested
+    limit, lazy enumeration must exhaust that whole space to prove it.
+    Callers that only need a quick verdict pass ``step_budget`` and treat
+    this exception as "unknown" rather than a count.
+    """
+
+
 @dataclass(frozen=True, slots=True)
 class EarleyItem:
     """A classic Earley item: production, dot, and origin position."""
@@ -135,6 +146,7 @@ class EarleyParser:
         root: Nonterminal,
         form: Sequence[Symbol],
         limit: int = 2,
+        step_budget: int | None = None,
     ) -> list[ParseTree]:
         """Up to *limit* distinct derivation trees of *form* from *root*.
 
@@ -144,6 +156,11 @@ class EarleyParser:
         enumeration allows each ``(symbol, span)`` to be re-entered at most
         ``limit + 1`` times along one recursion path, which bounds unit
         cycling while still producing *limit* distinct cyclic trees.
+
+        Args:
+            step_budget: Optional cap on enumeration steps; when the space
+                is larger, raises :class:`DerivationBudgetExceeded` instead
+                of searching it exhaustively.
         """
         tokens = list(form)
         sets = self._chart(root, tokens)
@@ -171,9 +188,18 @@ class EarleyParser:
         seen: set[ParseTree] = set()
         reentry_limit = limit + 1
         visiting: dict[tuple[Symbol, int, int], int] = {}
+        steps_left = [step_budget if step_budget is not None else -1]
+
+        def spend_step() -> None:
+            if steps_left[0] == 0:
+                raise DerivationBudgetExceeded(
+                    f"derivation enumeration exceeded {step_budget} steps"
+                )
+            steps_left[0] -= 1
 
         def symbol_trees(symbol: Symbol, start: int, end: int) -> Iterator[ParseTree]:
             """All trees deriving tokens[start:end] from *symbol*."""
+            spend_step()
             if end == start + 1 and tokens[start] == symbol:
                 yield leaf(symbol)
             if not symbol.is_nonterminal:
@@ -234,11 +260,22 @@ class EarleyParser:
         return cached
 
     def count_derivations(
-        self, root: Nonterminal, form: Sequence[Symbol], limit: int = 2
+        self,
+        root: Nonterminal,
+        form: Sequence[Symbol],
+        limit: int = 2,
+        step_budget: int | None = None,
     ) -> int:
         """Number of distinct derivation trees, capped at *limit*."""
-        return len(self.derivations(root, form, limit=limit))
+        return len(
+            self.derivations(root, form, limit=limit, step_budget=step_budget)
+        )
 
-    def is_ambiguous_form(self, root: Nonterminal, form: Sequence[Symbol]) -> bool:
+    def is_ambiguous_form(
+        self,
+        root: Nonterminal,
+        form: Sequence[Symbol],
+        step_budget: int | None = None,
+    ) -> bool:
         """Whether *form* has at least two distinct derivations from *root*."""
-        return self.count_derivations(root, form, limit=2) >= 2
+        return self.count_derivations(root, form, limit=2, step_budget=step_budget) >= 2

@@ -46,6 +46,27 @@ class ParseError(Exception):
         )
 
 
+class ParserLoopError(ParseError):
+    """The driver detected a reduction livelock.
+
+    Only possible with ``allow_conflicts=True``: conflict-free tables
+    drive a terminating parser, but yacc-default resolution over a
+    grammar with derivation cycles can pick an epsilon or unit reduction
+    whose goto re-enters the same state, reducing forever without
+    consuming input (found by the differential fuzzer; see
+    ``repro.verify``). Subclasses :class:`ParseError` so callers that
+    treat errors as rejection keep working.
+    """
+
+    def __init__(self, position: int, terminal: Terminal, state_id: int) -> None:
+        super().__init__(position, terminal, [], state_id)
+        self.args = (
+            f"reduction livelock at token {position} ({terminal}) in state "
+            f"{state_id}: the default-resolved tables reduce forever "
+            "without consuming input",
+        )
+
+
 class ConflictedGrammarError(Exception):
     """Raised when constructing a parser over tables with unresolved conflicts."""
 
@@ -117,6 +138,16 @@ class LRParser:
         tree_stack: list[ParseTree] = []
         position = 0
 
+        # Livelock guard: a terminating parse performs far fewer reductions
+        # between two shifts than states x productions allows; anything
+        # beyond this generous bound must be a default-resolution cycle.
+        max_reduce_run = (
+            (len(input_tokens) + 2)
+            * max(1, len(self.tables.action))
+            * (len(self.grammar.productions) + 2)
+        )
+        reduce_run = 0
+
         while True:
             state_id = state_stack[-1]
             terminal = input_tokens[position]
@@ -136,9 +167,13 @@ class LRParser:
                 state_stack.append(action.state_id)
                 tree_stack.append(leaf(terminal))
                 position += 1
+                reduce_run = 0
                 continue
 
             if isinstance(action, Reduce):
+                reduce_run += 1
+                if reduce_run > max_reduce_run:
+                    raise ParserLoopError(position, terminal, state_id)
                 production = action.production
                 arity = len(production.rhs)
                 if trace is not None:

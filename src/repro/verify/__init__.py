@@ -1,0 +1,44 @@
+"""Differential verification: independent oracles for the whole pipeline.
+
+This package closes the loop between the counterexample finder and the
+parser runtimes. It has no knowledge of how counterexamples are *found*
+— it only re-proves what they *claim*, using independently constructed
+automata and parsers, over both the evaluation corpus and a stream of
+seeded random grammars.
+"""
+
+from repro.verify.differential import (
+    DifferentialOracle,
+    DifferentialReport,
+    Disagreement,
+)
+from repro.verify.fuzz import FuzzConfig, GrammarFuzzer, grammar_strategy
+from repro.verify.harness import (
+    FailureKind,
+    FuzzFailure,
+    FuzzHarness,
+    FuzzReport,
+    run_fuzz_campaign,
+)
+from repro.verify.validate import (
+    CounterexampleValidator,
+    ValidationResult,
+    validate_counterexample,
+)
+
+__all__ = [
+    "CounterexampleValidator",
+    "DifferentialOracle",
+    "DifferentialReport",
+    "Disagreement",
+    "FailureKind",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzHarness",
+    "FuzzReport",
+    "GrammarFuzzer",
+    "ValidationResult",
+    "grammar_strategy",
+    "run_fuzz_campaign",
+    "validate_counterexample",
+]

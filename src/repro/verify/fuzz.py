@@ -1,0 +1,252 @@
+"""Seeded random-grammar generation for differential fuzzing.
+
+:class:`GrammarFuzzer` draws small context-free grammars from a seeded
+PRNG. The same ``(config, seed)`` pair always produces the same grammar,
+so every fuzz failure is reproducible from its seed alone
+(``repro-conflicts --fuzz 1 --seed S``).
+
+Beyond uniform random productions, the generator grafts in *ambiguity
+injectors* — miniature versions of the conflict patterns the paper's
+corpus is built from (dangling else, overlapping binary operators,
+epsilon/unit derivation cycles) — so that a useful fraction of generated
+grammars actually has conflicts for the finder to explain. Random
+precedence declarations exercise the table-resolution path.
+
+:func:`grammar_strategy` wraps the generator as a hypothesis strategy
+(seed-driven, so shrinking works on the seed), mirroring the hand-rolled
+strategies in ``tests/property/``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.grammar import Grammar, GrammarBuilder
+
+#: Terminal name pool for the base rules.
+_TERMINAL_POOL = ("a", "b", "c", "d", "e", "f")
+
+#: The three associativity spellings GrammarBuilder exposes.
+_ASSOCIATIVITIES = ("left", "right", "nonassoc")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for the random-grammar distribution.
+
+    Attributes:
+        min_nonterminals / max_nonterminals: Size of the nonterminal pool.
+        min_terminals / max_terminals: Size of the terminal pool.
+        max_productions_per_nonterminal: Alternatives per nonterminal.
+        max_rhs_length: Longest generated right-hand side.
+        epsilon_weight: Probability that a right-hand side is empty.
+        nonterminal_weight: Per-symbol probability of drawing a
+            nonterminal rather than a terminal.
+        injector_probability: Probability of grafting one ambiguity
+            injector into the grammar.
+        precedence_probability: Probability of declaring random
+            precedence levels (and occasionally a ``%prec`` override).
+        ensure_productive: Repair nonproductive nonterminals with a
+            fresh terminal production, so every generated grammar is
+            fully reduced (the finder, like the paper's tool, assumes
+            productive grammars).
+    """
+
+    min_nonterminals: int = 2
+    max_nonterminals: int = 5
+    min_terminals: int = 2
+    max_terminals: int = 4
+    max_productions_per_nonterminal: int = 3
+    max_rhs_length: int = 4
+    epsilon_weight: float = 0.15
+    nonterminal_weight: float = 0.4
+    injector_probability: float = 0.5
+    precedence_probability: float = 0.2
+    ensure_productive: bool = True
+
+
+class GrammarFuzzer:
+    """Deterministic random CFG generator."""
+
+    def __init__(self, config: FuzzConfig | None = None) -> None:
+        self.config = config or FuzzConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, seed: int) -> Grammar:
+        """The grammar for *seed* (pure function of ``(config, seed)``)."""
+        cfg = self.config
+        rng = random.Random(seed)
+        nonterminals = [
+            f"n{i}"
+            for i in range(rng.randint(cfg.min_nonterminals, cfg.max_nonterminals))
+        ]
+        terminals = list(
+            _TERMINAL_POOL[: rng.randint(cfg.min_terminals, cfg.max_terminals)]
+        )
+
+        rules: list[tuple[str, list[str], str | None]] = []
+        for lhs in nonterminals:
+            for _ in range(rng.randint(1, cfg.max_productions_per_nonterminal)):
+                rules.append((lhs, self._random_rhs(rng, nonterminals, terminals), None))
+
+        if rng.random() < cfg.injector_probability:
+            injector = rng.choice(
+                (
+                    self._inject_dangling_else,
+                    self._inject_overlapping_operators,
+                    self._inject_epsilon_cycle,
+                    self._inject_unit_cycle,
+                )
+            )
+            injector(rng, rules, nonterminals, terminals)
+
+        declarations = self._random_precedence(rng, rules, terminals)
+
+        grammar = self._build(seed, rules, declarations)
+        if cfg.ensure_productive:
+            repaired = False
+            for nonterminal in sorted(
+                grammar.nonproductive_nonterminals, key=str
+            ):
+                rules.append((nonterminal.name, [rng.choice(terminals)], None))
+                repaired = True
+            if repaired:
+                grammar = self._build(seed, rules, declarations)
+        return grammar
+
+    # ------------------------------------------------------------------ #
+    # Base distribution
+
+    def _random_rhs(
+        self, rng: random.Random, nonterminals: list[str], terminals: list[str]
+    ) -> list[str]:
+        cfg = self.config
+        if rng.random() < cfg.epsilon_weight:
+            return []
+        length = rng.randint(1, cfg.max_rhs_length)
+        return [
+            rng.choice(nonterminals)
+            if rng.random() < cfg.nonterminal_weight
+            else rng.choice(terminals)
+            for _ in range(length)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Ambiguity injectors (each may add fresh terminal names; a name is a
+    # terminal exactly when it never appears as a left-hand side)
+
+    @staticmethod
+    def _inject_dangling_else(
+        rng: random.Random,
+        rules: list[tuple[str, list[str], str | None]],
+        nonterminals: list[str],
+        terminals: list[str],
+    ) -> None:
+        stmt = rng.choice(nonterminals)
+        cond = rng.choice(terminals)
+        rules.append((stmt, ["if", cond, "then", stmt], None))
+        rules.append((stmt, ["if", cond, "then", stmt, "else", stmt], None))
+
+    @staticmethod
+    def _inject_overlapping_operators(
+        rng: random.Random,
+        rules: list[tuple[str, list[str], str | None]],
+        nonterminals: list[str],
+        terminals: list[str],
+    ) -> None:
+        expr = rng.choice(nonterminals)
+        rules.append((expr, [expr, "+", expr], None))
+        rules.append((expr, [expr, "*", expr], None))
+        rules.append((expr, [rng.choice(terminals)], None))
+
+    @staticmethod
+    def _inject_epsilon_cycle(
+        rng: random.Random,
+        rules: list[tuple[str, list[str], str | None]],
+        nonterminals: list[str],
+        terminals: list[str],
+    ) -> None:
+        lhs = rng.choice(nonterminals)
+        rules.append((lhs, [], None))
+        rules.append((lhs, [lhs, lhs], None))
+
+    @staticmethod
+    def _inject_unit_cycle(
+        rng: random.Random,
+        rules: list[tuple[str, list[str], str | None]],
+        nonterminals: list[str],
+        terminals: list[str],
+    ) -> None:
+        first = rng.choice(nonterminals)
+        second = rng.choice(nonterminals)
+        rules.append((first, [second], None))
+        rules.append((second, [first], None))
+        rules.append((second, [rng.choice(terminals)], None))
+
+    # ------------------------------------------------------------------ #
+    # Precedence
+
+    def _random_precedence(
+        self,
+        rng: random.Random,
+        rules: list[tuple[str, list[str], str | None]],
+        terminals: list[str],
+    ) -> list[tuple[str, list[str]]]:
+        if rng.random() >= self.config.precedence_probability:
+            return []
+        lhs_names = {lhs for lhs, _, _ in rules}
+        pool = sorted(
+            {
+                name
+                for _, rhs, _ in rules
+                for name in rhs
+                if name not in lhs_names
+            }
+        )
+        if not pool:
+            return []
+        declarations: list[tuple[str, list[str]]] = []
+        remaining = list(pool)
+        rng.shuffle(remaining)
+        for _ in range(rng.randint(1, 2)):
+            if not remaining:
+                break
+            count = rng.randint(1, min(2, len(remaining)))
+            level, remaining = remaining[:count], remaining[count:]
+            declarations.append((rng.choice(_ASSOCIATIVITIES), level))
+        # Occasionally add a %prec override referencing a declared level.
+        if declarations and rng.random() < 0.5:
+            index = rng.randrange(len(rules))
+            lhs, rhs, _ = rules[index]
+            rules[index] = (lhs, rhs, rng.choice(declarations[-1][1]))
+        return declarations
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build(
+        seed: int,
+        rules: list[tuple[str, list[str], str | None]],
+        declarations: list[tuple[str, list[str]]],
+    ) -> Grammar:
+        builder = GrammarBuilder(f"fuzz-{seed}")
+        for associativity, level in declarations:
+            getattr(builder, associativity)(*level)
+        for lhs, rhs, prec in rules:
+            builder.rule(lhs, rhs, prec=prec)
+        return builder.build(start=rules[0][0])
+
+
+def grammar_strategy(config: FuzzConfig | None = None):
+    """A hypothesis strategy over fuzzer grammars (requires hypothesis).
+
+    The strategy draws a seed and maps it through
+    :meth:`GrammarFuzzer.generate`, so hypothesis shrinks over seeds and
+    every falsifying example reduces to one reproducible integer.
+    """
+    from hypothesis import strategies as st
+
+    fuzzer = GrammarFuzzer(config)
+    return st.integers(min_value=0, max_value=2**32 - 1).map(fuzzer.generate)

@@ -1,0 +1,415 @@
+"""The differential fuzzing harness: generate, explain, validate, shrink.
+
+One fuzz iteration closes the whole loop the library exists for:
+
+1. :class:`~repro.verify.fuzz.GrammarFuzzer` draws a random grammar from
+   the iteration seed;
+2. the LALR automaton is built and the
+   :class:`~repro.verify.differential.DifferentialOracle` checks it
+   against the SLR/LR(1) constructions and the three parser runtimes;
+3. the :class:`~repro.core.finder.CounterexampleFinder` explains every
+   conflict;
+4. the :class:`~repro.verify.validate.CounterexampleValidator`
+   independently re-proves each counterexample.
+
+Anything that goes wrong is *classified* — validator rejection, oracle
+disagreement, finder timeout, or crash — and recorded together with the
+failing grammar, shrunk to a (locally) minimal production set and
+re-emitted through the textual DSL so the report alone reproduces the
+bug. Timeouts are informational; the other three kinds are fatal.
+
+Per-iteration seeds are ``base_seed + index``, so any single failure
+replays with ``repro-conflicts --fuzz 1 --seed <seed>``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.automaton.lalr import build_lalr
+from repro.core.finder import CounterexampleFinder
+from repro.grammar import Grammar, dump_grammar
+from repro.grammar.errors import GrammarError
+from repro.verify.differential import DifferentialOracle
+from repro.verify.fuzz import FuzzConfig, GrammarFuzzer
+from repro.verify.validate import CounterexampleValidator
+
+
+class FailureKind(enum.Enum):
+    """Classification of one fuzz finding."""
+
+    VALIDATOR_REJECTION = "validator-rejection"
+    ORACLE_DISAGREEMENT = "oracle-disagreement"
+    FINDER_TIMEOUT = "finder-timeout"
+    CRASH = "crash"
+
+    @property
+    def fatal(self) -> bool:
+        return self is not FailureKind.FINDER_TIMEOUT
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One classified finding, with a reproducible shrunk grammar."""
+
+    seed: int
+    kind: FailureKind
+    detail: str
+    grammar_text: str
+    original_productions: int
+    shrunk_productions: int
+
+    def describe(self) -> str:
+        shrink_note = (
+            f" (shrunk {self.original_productions} -> "
+            f"{self.shrunk_productions} productions)"
+            if self.shrunk_productions < self.original_productions
+            else ""
+        )
+        return (
+            f"[{self.kind.value}] seed {self.seed}{shrink_note}\n"
+            f"  {self.detail}\n"
+            f"  reproduce: repro-conflicts --fuzz 1 --seed {self.seed}\n"
+            + "\n".join(f"  | {line}" for line in self.grammar_text.splitlines())
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate results of one fuzz campaign."""
+
+    iterations: int
+    base_seed: int
+    grammars: int = 0
+    grammars_with_conflicts: int = 0
+    conflicts: int = 0
+    unifying: int = 0
+    nonunifying: int = 0
+    timeouts: int = 0
+    counterexamples_validated: int = 0
+    oracle_samples: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def fatal_failures(self) -> list[FuzzFailure]:
+        return [f for f in self.failures if f.kind.fatal]
+
+    @property
+    def ok(self) -> bool:
+        return not self.fatal_failures
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts = {kind.value: 0 for kind in FailureKind}
+        for failure in self.failures:
+            counts[failure.kind.value] += 1
+        return counts
+
+    def describe(self) -> str:
+        counts = self.counts_by_kind()
+        lines = [
+            f"fuzz campaign: {self.grammars}/{self.iterations} grammars "
+            f"(base seed {self.base_seed}) in {self.elapsed:.1f}s",
+            f"  conflicts explained: {self.conflicts} "
+            f"({self.unifying} unifying, {self.nonunifying} nonunifying, "
+            f"{self.timeouts} timed out) over "
+            f"{self.grammars_with_conflicts} conflicted grammars",
+            f"  counterexamples validated: {self.counterexamples_validated}; "
+            f"oracle samples: {self.oracle_samples}",
+            "  failures: "
+            + ", ".join(f"{name}={count}" for name, count in counts.items()),
+        ]
+        for failure in self.failures:
+            lines.append(failure.describe())
+        lines.append("verdict: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+@dataclass
+class _Examination:
+    """What one grammar's full loop produced."""
+
+    conflicts: int = 0
+    unifying: int = 0
+    nonunifying: int = 0
+    timeouts: int = 0
+    validated: int = 0
+    samples: int = 0
+    problems: list[tuple[FailureKind, str]] = field(default_factory=list)
+
+    def problem_kinds(self) -> set[FailureKind]:
+        return {kind for kind, _ in self.problems}
+
+
+class FuzzHarness:
+    """Runs the generate→explain→validate loop and shrinks failures.
+
+    Args:
+        config: Grammar distribution knobs (see :class:`FuzzConfig`).
+        time_limit: Per-conflict unifying-search budget (kept small —
+            fuzz grammars are tiny and timeouts are only informational).
+        cumulative_limit: Per-grammar unifying-search budget.
+        differential: Run the cross-construction oracle each iteration.
+        glr_check: Ask the validator for the GLR cross-check as well.
+        shrink: Minimise failing grammars before reporting.
+        max_shrink_attempts: Cap on re-examinations during shrinking.
+        oracle_samples: Sample count per polarity for the oracle.
+        max_lr1_states: Canonical LR(1) cap for the oracle.
+        glr_max_configurations: GLR cap for the validator's cross-check.
+            Kept small: on heavily cyclic fuzz grammars a large cap burns
+            seconds per counterexample only to blow up anyway, and
+            blow-ups are recorded as skips either way.
+        verify_step_budget: Earley step cap shared by the finder's
+            verification pass and the validator's ambiguity recount.
+    """
+
+    def __init__(
+        self,
+        config: FuzzConfig | None = None,
+        time_limit: float = 0.3,
+        cumulative_limit: float = 2.0,
+        differential: bool = True,
+        glr_check: bool = True,
+        shrink: bool = True,
+        max_shrink_attempts: int = 200,
+        oracle_samples: int = 6,
+        max_lr1_states: int = 2_000,
+        glr_max_configurations: int = 300,
+        verify_step_budget: int = 50_000,
+    ) -> None:
+        self.fuzzer = GrammarFuzzer(config)
+        self.time_limit = time_limit
+        self.cumulative_limit = cumulative_limit
+        self.differential = differential
+        self.glr_check = glr_check
+        self.shrink = shrink
+        self.max_shrink_attempts = max_shrink_attempts
+        self.oracle_samples = oracle_samples
+        self.max_lr1_states = max_lr1_states
+        self.glr_max_configurations = glr_max_configurations
+        self.verify_step_budget = verify_step_budget
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        iterations: int,
+        seed: int = 0,
+        progress=None,
+    ) -> FuzzReport:
+        """Run *iterations* seeded iterations; never raises.
+
+        Args:
+            iterations: Number of grammars to generate.
+            seed: Base seed; iteration ``i`` uses ``seed + i``.
+            progress: Optional callback ``(done, total, report)`` invoked
+                after every iteration.
+        """
+        report = FuzzReport(iterations=iterations, base_seed=seed)
+        started = time.monotonic()
+        for index in range(iterations):
+            self._run_one(seed + index, report)
+            if progress is not None:
+                progress(index + 1, iterations, report)
+        report.elapsed = time.monotonic() - started
+        return report
+
+    def _run_one(self, iteration_seed: int, report: FuzzReport) -> None:
+        try:
+            grammar = self.fuzzer.generate(iteration_seed)
+        except Exception as error:  # noqa: BLE001 — classified, not raised
+            report.failures.append(
+                FuzzFailure(
+                    seed=iteration_seed,
+                    kind=FailureKind.CRASH,
+                    detail=f"grammar generation raised {error!r}",
+                    grammar_text="",
+                    original_productions=0,
+                    shrunk_productions=0,
+                )
+            )
+            return
+        report.grammars += 1
+        examination = self._examine(grammar, iteration_seed)
+        report.conflicts += examination.conflicts
+        report.unifying += examination.unifying
+        report.nonunifying += examination.nonunifying
+        report.timeouts += examination.timeouts
+        report.counterexamples_validated += examination.validated
+        report.oracle_samples += examination.samples
+        if examination.conflicts:
+            report.grammars_with_conflicts += 1
+
+        shrunk_cache: dict[FailureKind, Grammar] = {}
+        for kind, detail in examination.problems:
+            shrunk = grammar
+            if self.shrink and kind.fatal:
+                if kind not in shrunk_cache:
+                    shrunk_cache[kind] = self._shrink(grammar, iteration_seed, kind)
+                shrunk = shrunk_cache[kind]
+            report.failures.append(
+                FuzzFailure(
+                    seed=iteration_seed,
+                    kind=kind,
+                    detail=detail,
+                    grammar_text=dump_grammar(shrunk),
+                    original_productions=grammar.num_user_productions,
+                    shrunk_productions=shrunk.num_user_productions,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # One grammar through the whole loop
+
+    def _examine(self, grammar: Grammar, seed: int) -> _Examination:
+        result = _Examination()
+        try:
+            automaton = build_lalr(grammar)
+        except Exception as error:  # noqa: BLE001
+            result.problems.append(
+                (FailureKind.CRASH, f"automaton construction raised {error!r}")
+            )
+            return result
+
+        if self.differential:
+            try:
+                oracle_report = DifferentialOracle(
+                    grammar,
+                    automaton=automaton,
+                    max_lr1_states=self.max_lr1_states,
+                    num_samples=self.oracle_samples,
+                    seed=seed,
+                ).check()
+            except Exception as error:  # noqa: BLE001
+                result.problems.append(
+                    (FailureKind.CRASH, f"differential oracle raised {error!r}")
+                )
+            else:
+                result.samples = oracle_report.samples_checked
+                for disagreement in oracle_report.disagreements:
+                    result.problems.append(
+                        (FailureKind.ORACLE_DISAGREEMENT, str(disagreement))
+                    )
+
+        try:
+            finder = CounterexampleFinder(
+                automaton,
+                time_limit=self.time_limit,
+                cumulative_limit=self.cumulative_limit,
+                verify=True,
+                verify_step_budget=self.verify_step_budget,
+            )
+            summary = finder.explain_all()
+        except Exception as error:  # noqa: BLE001
+            result.problems.append(
+                (FailureKind.CRASH, f"counterexample finder raised {error!r}")
+            )
+            return result
+
+        result.conflicts = summary.num_conflicts
+        result.unifying = summary.num_unifying
+        result.nonunifying = summary.num_nonunifying
+        result.timeouts = summary.num_timeout
+        if summary.num_timeout:
+            result.problems.append(
+                (
+                    FailureKind.FINDER_TIMEOUT,
+                    f"{summary.num_timeout} of {summary.num_conflicts} "
+                    f"unifying searches timed out "
+                    f"(time limit {self.time_limit}s)",
+                )
+            )
+
+        try:
+            validator = CounterexampleValidator(
+                grammar,
+                glr_check=self.glr_check,
+                glr_max_configurations=self.glr_max_configurations,
+                earley_step_budget=self.verify_step_budget,
+            )
+        except Exception as error:  # noqa: BLE001
+            result.problems.append(
+                (FailureKind.CRASH, f"validator construction raised {error!r}")
+            )
+            return result
+        for finder_report in summary.reports:
+            try:
+                verdict = validator.validate(finder_report.counterexample)
+            except Exception as error:  # noqa: BLE001
+                result.problems.append(
+                    (
+                        FailureKind.CRASH,
+                        f"validator raised {error!r} on "
+                        f"{finder_report.counterexample}",
+                    )
+                )
+                continue
+            result.validated += 1
+            if not verdict.ok:
+                result.problems.append(
+                    (
+                        FailureKind.VALIDATOR_REJECTION,
+                        f"conflict [{finder_report.conflict}]: "
+                        + "; ".join(verdict.failures),
+                    )
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Shrinking: greedy production removal preserving the failure kind
+
+    def _shrink(
+        self, grammar: Grammar, seed: int, kind: FailureKind
+    ) -> Grammar:
+        attempts = 0
+        current = grammar
+        improved = True
+        while improved and attempts < self.max_shrink_attempts:
+            improved = False
+            productions = list(current.user_productions())
+            for index in range(len(productions)):
+                candidate = self._without_production(current, index)
+                if candidate is None:
+                    continue
+                attempts += 1
+                if attempts >= self.max_shrink_attempts:
+                    break
+                if kind in self._examine(candidate, seed).problem_kinds():
+                    current = candidate
+                    improved = True
+                    break
+        return current
+
+    @staticmethod
+    def _without_production(grammar: Grammar, index: int) -> Grammar | None:
+        """*grammar* minus its *index*-th user production, if still valid."""
+        productions = [
+            (p.lhs, p.rhs, p.prec_override)
+            for i, p in enumerate(grammar.user_productions())
+            if i != index
+        ]
+        if not productions:
+            return None
+        try:
+            return Grammar(
+                productions,
+                start=grammar.start,
+                precedence=grammar.precedence,
+                name=grammar.name,
+            )
+        except GrammarError:
+            return None
+
+
+def run_fuzz_campaign(
+    iterations: int,
+    seed: int = 0,
+    config: FuzzConfig | None = None,
+    progress=None,
+    **harness_options,
+) -> FuzzReport:
+    """Module-level convenience wrapper around :class:`FuzzHarness`."""
+    harness = FuzzHarness(config, **harness_options)
+    return harness.run(iterations, seed=seed, progress=progress)

@@ -7,8 +7,10 @@ our token spellings).
 
 import pytest
 
+from repro.automaton import build_lalr
 from repro.core import CounterexampleFinder, format_symbols
-from repro.corpus import load
+from repro.corpus import all_specs, load
+from repro.verify import CounterexampleValidator
 
 #: (grammar, conflict terminal) -> the paper's counterexample string.
 GOLDEN = {
@@ -68,3 +70,38 @@ class TestGoldenStrings:
         example = finder.explain_all().reports[0].counterexample
         assert example.unifying
         assert format_symbols(example.example1()) == "Y Y a • p r"
+
+
+#: Conflicts validated per grammar below; the heavy corpus rows have
+#: hundreds of conflicts and are covered exhaustively by the benchmark
+#: harness and the fuzz campaigns, not by this per-commit sweep.
+MAX_VALIDATED_CONFLICTS = 3
+
+
+class TestRegistryWideValidation:
+    """Every corpus grammar's counterexamples survive independent validation.
+
+    The golden strings above pin a handful of figures character for
+    character; this class covers the whole registry semantically: each
+    explained conflict is replayed by
+    :class:`repro.verify.CounterexampleValidator`, which re-derives the
+    claimed sentential forms and re-proves ambiguity with the Earley
+    oracle — no finder internals trusted.
+    """
+
+    @pytest.mark.parametrize("name", [spec.name for spec in all_specs()])
+    def test_counterexamples_validate(self, name):
+        grammar = load(name)
+        automaton = build_lalr(grammar)
+        if not automaton.conflicts:
+            return  # LALR(1) grammar: nothing to explain or validate
+        finder = CounterexampleFinder(
+            automaton, time_limit=0.5, cumulative_limit=5.0, verify=True
+        )
+        validator = CounterexampleValidator(grammar, glr_check=False)
+        for conflict in automaton.conflicts[:MAX_VALIDATED_CONFLICTS]:
+            report = finder.explain(conflict)
+            result = validator.validate(report.counterexample)
+            assert result.ok, (
+                f"{name}, conflict [{conflict}]:\n{result.describe()}"
+            )

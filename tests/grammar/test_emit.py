@@ -11,18 +11,18 @@ def roundtrip(grammar):
 
 
 def production_signature(grammar):
-    """Per-nonterminal production lists (global order is not preserved:
-    the emitter groups alternatives by nonterminal, which is the only
-    ordering the DSL can express)."""
-    signature = {}
-    for p in grammar.user_productions():
-        signature.setdefault(str(p.lhs), []).append(
-            (
-                tuple(str(s) for s in p.rhs),
-                None if p.prec_override is None else str(p.prec_override),
-            )
+    """Productions in global index order. Order matters: yacc defaults
+    resolve reduce/reduce conflicts toward the earliest production, and
+    the emitter preserves it by starting a new rule block whenever the
+    left-hand side changes."""
+    return [
+        (
+            str(p.lhs),
+            tuple(str(s) for s in p.rhs),
+            None if p.prec_override is None else str(p.prec_override),
         )
-    return signature
+        for p in grammar.user_productions()
+    ]
 
 
 class TestRoundTrip:
@@ -84,6 +84,17 @@ class TestRoundTrip:
 
 
 class TestRendering:
+    def test_interleaved_production_order_preserved(self):
+        # Regression (found by the DSL round-trip property test): the
+        # emitter used to regroup productions by nonterminal, silently
+        # renumbering them and changing reduce/reduce resolution.
+        grammar = load_grammar("a : 'x' ; b : 'y' ; a : 'z' ;")
+        assert production_signature(roundtrip(grammar)) == [
+            ("a", ("x",), None),
+            ("b", ("y",), None),
+            ("a", ("z",), None),
+        ]
+
     def test_groups_alternatives(self, expr_grammar):
         text = dump_grammar(expr_grammar)
         assert text.count("e :") == 1

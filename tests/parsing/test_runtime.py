@@ -7,6 +7,7 @@ from repro.parsing import (
     ConflictedGrammarError,
     LRParser,
     ParseError,
+    ParserLoopError,
     TraceEntry,
 )
 
@@ -105,6 +106,45 @@ class TestErrors:
             + assign
         )
         assert parser.accepts(tokens)
+
+
+class TestLivelock:
+    """Regression: fuzz seed 3 live-locked the driver (found by repro.verify).
+
+    With ``allow_conflicts=True``, yacc-default resolution over a grammar
+    with epsilon/derivation cycles can pick a reduction whose goto
+    re-enters the same state, so the parser reduces forever without
+    consuming a token. The driver must detect this and raise instead of
+    hanging.
+    """
+
+    #: The fuzz seed-3 grammar verbatim: n2 is nullable and
+    #: self-concatenating, so after the right prefix the parser
+    #: default-reduces `n2 ::= %empty` in place forever.
+    LIVELOCK_GRAMMAR = """
+        n0 : %empty | a d n0 n2 | n0 n0 d a ;
+        n2 : d n2 b a | %empty | %empty | n2 n2 ;
+        n1 : n0 ;
+    """
+
+    #: The shortest input that reaches the cycle (found exhaustively).
+    LIVELOCK_INPUT = "a d d b a d b a".split()
+
+    def test_livelock_detected_not_hung(self):
+        grammar = load_grammar(self.LIVELOCK_GRAMMAR)
+        parser = LRParser(grammar, allow_conflicts=True)
+        with pytest.raises(ParserLoopError, match="livelock"):
+            parser.parse(self.LIVELOCK_INPUT)
+
+    def test_livelock_error_is_a_parse_error(self):
+        # accepts() and other reject-on-error callers must keep working.
+        grammar = load_grammar(self.LIVELOCK_GRAMMAR)
+        parser = LRParser(grammar, allow_conflicts=True)
+        assert not parser.accepts(self.LIVELOCK_INPUT)
+
+    def test_conflict_free_parses_unaffected(self, parser):
+        # The guard must never fire on a terminating parse.
+        assert parser.accepts(["(", "ID", "+", "ID", ")", "*", "ID"])
 
 
 class TestTrace:

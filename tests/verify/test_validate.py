@@ -1,0 +1,158 @@
+"""Unit tests for the independent counterexample validator."""
+
+import pytest
+
+from repro.core import CounterexampleFinder
+from repro.core.counterexample import Counterexample
+from repro.core.derivation import Derivation
+from repro.corpus import load
+from repro.verify import CounterexampleValidator, validate_counterexample
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return load("figure1")
+
+
+@pytest.fixture(scope="module")
+def figure1_reports(figure1):
+    finder = CounterexampleFinder(figure1, time_limit=10.0)
+    return {
+        str(r.conflict.terminal): r.counterexample
+        for r in finder.explain_all().reports
+    }
+
+
+@pytest.fixture(scope="module")
+def figure3_nonunifying():
+    finder = CounterexampleFinder(load("figure3"), time_limit=10.0)
+    return finder.explain_all().reports[0].counterexample
+
+
+class TestGenuineCounterexamples:
+    @pytest.mark.parametrize("terminal", ["+", "ELSE", "DIGIT"])
+    def test_figure1_unifying_validate(self, figure1, figure1_reports, terminal):
+        validator = CounterexampleValidator(figure1, glr_check=True)
+        result = validator.validate(figure1_reports[terminal])
+        assert result.kind == "unifying"
+        assert result.ok, result.describe()
+        assert "earley-ambiguous" in result.passed
+        # The GLR cross-check over rebuilt precedence-free tables agrees.
+        assert "glr-ambiguous" in result.passed
+
+    def test_figure3_nonunifying_validate(self, figure3_nonunifying):
+        result = validate_counterexample(
+            load("figure3"), figure3_nonunifying, glr_check=True
+        )
+        assert result.kind == "nonunifying"
+        assert result.ok, result.describe()
+        assert "shared-prefix" in result.passed
+        assert "earley-derives-1" in result.passed
+        assert "earley-derives-2" in result.passed
+
+
+class TestCorruptedCounterexamples:
+    """Each structural lie a broken finder could tell is caught."""
+
+    def test_identical_derivations_rejected(self, figure1, figure1_reports):
+        cex = figure1_reports["+"]
+        corrupt = Counterexample(
+            conflict=cex.conflict,
+            unifying=True,
+            nonterminal=cex.nonterminal,
+            derivation1=cex.derivation1,
+            derivation2=cex.derivation1,
+        )
+        result = validate_counterexample(figure1, corrupt)
+        assert not result.ok
+        assert any("derivations-distinct" in f for f in result.failures)
+
+    def test_truncated_derivation_rejected(self, figure1, figure1_reports):
+        cex = figure1_reports["+"]
+        root = cex.derivation1
+        chopped = Derivation(root.symbol, children=(), production=root.production)
+        corrupt = Counterexample(
+            conflict=cex.conflict,
+            unifying=True,
+            nonterminal=cex.nonterminal,
+            derivation1=chopped,
+            derivation2=cex.derivation2,
+        )
+        result = validate_counterexample(figure1, corrupt)
+        assert not result.ok
+        assert any("derivation1-structure" in f for f in result.failures)
+
+    def test_foreign_production_rejected(self, figure1, figure1_reports):
+        # A derivation that expands by a production of a different grammar
+        # (here: one whose identity does not match the grammar's table).
+        other = load("figure3")
+        cex = figure1_reports["+"]
+        fake = Derivation(
+            other.productions[1].lhs,
+            children=tuple(
+                Derivation(symbol) for symbol in other.productions[1].rhs
+            ),
+            production=other.productions[1],
+        )
+        corrupt = Counterexample(
+            conflict=cex.conflict,
+            unifying=True,
+            nonterminal=cex.nonterminal,
+            derivation1=fake,
+            derivation2=cex.derivation2,
+        )
+        result = validate_counterexample(figure1, corrupt)
+        assert not result.ok
+        assert any("derivation1-structure" in f for f in result.failures)
+
+    def test_nonunifying_passed_off_as_unifying(self, figure3_nonunifying):
+        cex = figure3_nonunifying
+        corrupt = Counterexample(
+            conflict=cex.conflict,
+            unifying=True,
+            nonterminal=cex.nonterminal,
+            derivation1=cex.derivation1,
+            derivation2=cex.derivation2,
+        )
+        result = validate_counterexample(load("figure3"), corrupt)
+        assert not result.ok
+
+    def test_unambiguous_form_claim_rejected(self, figure1, figure1_reports):
+        # Both derivations replayed fine and agree — but on a grammar
+        # where the form has a single derivation, Earley must refuse to
+        # certify ambiguity. Simulate by validating the ELSE example
+        # against a dangling-else-free variant? Cheaper: reuse the '+'
+        # example but lie about the unifying nonterminal so the Earley
+        # recount runs from the wrong root.
+        cex = figure1_reports["+"]
+        wrong_root = next(
+            nt
+            for nt in figure1.nonterminals
+            if nt not in (cex.nonterminal, figure1.augmented_start)
+            and str(nt) != str(cex.nonterminal)
+        )
+        corrupt = Counterexample(
+            conflict=cex.conflict,
+            unifying=True,
+            nonterminal=wrong_root,
+            derivation1=cex.derivation1,
+            derivation2=cex.derivation2,
+        )
+        result = validate_counterexample(figure1, corrupt)
+        assert not result.ok
+        assert any("roots-unify" in f for f in result.failures)
+
+
+class TestSkips:
+    def test_glr_checks_optional(self, figure1, figure1_reports):
+        validator = CounterexampleValidator(figure1, glr_check=False)
+        result = validator.validate(figure1_reports["+"])
+        assert result.ok
+        assert not any("glr" in name for name in result.passed)
+
+    def test_tiny_step_budget_skips_not_fails(self, figure1, figure1_reports):
+        validator = CounterexampleValidator(figure1, earley_step_budget=1)
+        result = validator.validate(figure1_reports["+"])
+        # Budget exhaustion must degrade to a skip, never a rejection.
+        assert result.ok
+        assert any("earley-ambiguous" in s for s in result.skipped)
