@@ -56,12 +56,19 @@ Action = Union[Shift, Reduce, Accept, ErrorAction]
 
 @dataclass
 class ParseTables:
-    """ACTION and GOTO tables plus the unresolved conflicts."""
+    """ACTION and GOTO tables plus the unresolved conflicts.
+
+    ``used_precedence`` records every terminal whose precedence level was
+    consulted while silently resolving a shift/reduce conflict — both the
+    lookahead terminal and the terminal that determined the production's
+    level. Declarations outside this set never influenced the tables.
+    """
 
     action: list[dict[Terminal, Action]]
     goto: list[dict[Nonterminal, int]]
     conflicts: list[Conflict]
     resolved_count: int = 0
+    used_precedence: frozenset[Terminal] = frozenset()
 
     def action_for(self, state_id: int, terminal: Terminal) -> Action | None:
         return self.action[state_id].get(terminal)
@@ -104,6 +111,7 @@ def build_tables(automaton) -> ParseTables:
     goto: list[dict[Nonterminal, int]] = [{} for _ in range(num_states)]
     conflicts: list[Conflict] = []
     resolved = 0
+    used_precedence: set[Terminal] = set()
 
     accept_item = Item(grammar.start_production, 1)  # START' -> S . $
 
@@ -179,13 +187,32 @@ def build_tables(automaton) -> ParseTables:
                     resolved += 1
                 else:  # Shift wins; keep the existing entry.
                     resolved += 1
+                if resolution is not None:
+                    used_precedence.add(terminal)
+                    source = _production_prec_terminal(chosen.production)
+                    if source is not None:
+                        used_precedence.add(source)
             elif existing is None:
                 action[state.id][terminal] = Reduce(chosen.production)
 
     conflicts.sort(key=lambda c: (c.state_id, str(c.terminal)))
     return ParseTables(
-        action=action, goto=goto, conflicts=conflicts, resolved_count=resolved
+        action=action,
+        goto=goto,
+        conflicts=conflicts,
+        resolved_count=resolved,
+        used_precedence=frozenset(used_precedence),
     )
+
+
+def _production_prec_terminal(production: Production) -> Terminal | None:
+    """The terminal whose declaration determines *production*'s precedence."""
+    if production.prec_override is not None:
+        return production.prec_override
+    for symbol in reversed(production.rhs):
+        if isinstance(symbol, Terminal):
+            return symbol
+    return None
 
 
 def _find_shift_items(state, terminal: Terminal) -> list[Item]:

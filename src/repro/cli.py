@@ -102,6 +102,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report failing grammars as generated, without minimisation",
     )
+    lint = parser.add_argument_group("static lint")
+    lint.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "run the static grammar lint passes instead of the conflict "
+            "explainer (see docs/LINTING.md for the rule catalog)"
+        ),
+    )
+    lint.add_argument(
+        "--lint-format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        metavar="FMT",
+        help="lint output format: text, json, or sarif (default: text)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="error",
+        metavar="SEV",
+        help=(
+            "exit nonzero when any diagnostic is at or above this severity "
+            "(default: error)"
+        ),
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this lint rule (repeatable)",
+    )
+    lint.add_argument(
+        "--no-rule",
+        action="append",
+        metavar="ID",
+        help="skip this lint rule (repeatable)",
+    )
     return parser
 
 
@@ -142,6 +180,23 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_lint(args: argparse.Namespace, grammar, source_path: str | None) -> int:
+    from repro.lint import LintConfig, Severity, render, run_lint
+
+    config = LintConfig(
+        enabled=frozenset(args.rule) if args.rule else None,
+        disabled=frozenset(args.no_rule or ()),
+    )
+    try:
+        report = run_lint(grammar, config=config, source_path=source_path)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(render(report, args.lint_format))
+    threshold = Severity.parse(args.fail_on)
+    return 1 if report.should_fail(threshold) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -173,6 +228,9 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print("error: provide a grammar file or --corpus NAME", file=sys.stderr)
         return 2
+
+    if args.lint:
+        return _run_lint(args, grammar, args.grammar if not args.corpus else None)
 
     if args.metrics:
         from repro.grammar import GrammarMetrics

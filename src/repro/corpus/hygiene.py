@@ -1,0 +1,44 @@
+"""Hygiene-control grammars: lint-clean baselines, not Table 1 entries.
+
+The lint subsystem needs at least one corpus grammar whose report is
+free of warnings and errors, so the golden tests can pin "clean stays
+clean" alongside the conflict grammars' findings. ``clean-json`` is a
+minimal JSON-shaped grammar: SLR(1), conflict-free, no useless symbols,
+no ambiguity-prone patterns. Its only lint output is informational
+(left recursion, unit productions, the LR-class summary).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.registry import GrammarSpec, register
+from repro.grammar import Grammar, load_grammar
+
+CLEAN_JSON = """
+%grammar clean-json
+%start value
+value : '{' members '}'
+      | '[' elements ']'
+      | STRING
+      | NUMBER
+      ;
+members : %empty | pairs ;
+pairs : pair | pairs ',' pair ;
+pair : STRING ':' value ;
+elements : %empty | items ;
+items : value | items ',' value ;
+"""
+
+
+def _load_clean_json() -> Grammar:
+    return load_grammar(CLEAN_JSON, name="clean-json")
+
+
+register(
+    GrammarSpec(
+        name="clean-json",
+        category="hygiene",
+        loader=_load_clean_json,
+        ambiguous=False,
+        notes="lint-clean control grammar (SLR(1), zero warnings)",
+    )
+)

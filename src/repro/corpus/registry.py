@@ -67,7 +67,16 @@ def register(spec: GrammarSpec) -> GrammarSpec:
 
 def _ensure_loaded() -> None:
     """Import the corpus modules so their registrations run."""
-    from repro.corpus import c, java, ours, paper, pascal, sql, stackoverflow  # noqa: F401
+    from repro.corpus import (  # noqa: F401
+        c,
+        hygiene,
+        java,
+        ours,
+        paper,
+        pascal,
+        sql,
+        stackoverflow,
+    )
 
 
 def all_specs(category: str | None = None) -> list[GrammarSpec]:

@@ -29,23 +29,33 @@ class GrammarBuilder:
 
     def __init__(self, name: str = "grammar") -> None:
         self.name = name
-        self._raw_rules: list[tuple[str, tuple[str, ...], str | None]] = []
+        self._raw_rules: list[tuple[str, tuple[str, ...], str | None, int | None]] = []
         self._precedence = PrecedenceTable()
         self._start: str | None = None
+        self._token_declarations: dict[str, int | None] = {}
 
     # ------------------------------------------------------------------ #
 
-    def rule(self, lhs: str, rhs: str | Sequence[str] = "", prec: str | None = None) -> "GrammarBuilder":
+    def rule(
+        self,
+        lhs: str,
+        rhs: str | Sequence[str] = "",
+        prec: str | None = None,
+        line: int | None = None,
+    ) -> "GrammarBuilder":
         """Add one production. *rhs* is a space-separated string or a sequence.
 
         An empty *rhs* adds an epsilon production. *prec* names a terminal
         whose precedence the production should take (yacc ``%prec``).
+        *line* is the 1-based source line of the production, recorded on
+        the resulting :class:`~repro.grammar.grammar.Production` for
+        diagnostics.
         """
         if isinstance(rhs, str):
             symbols = tuple(rhs.split())
         else:
             symbols = tuple(rhs)
-        self._raw_rules.append((lhs, symbols, prec))
+        self._raw_rules.append((lhs, symbols, prec, line))
         return self
 
     def rules(self, lhs: str, alternatives: str) -> "GrammarBuilder":
@@ -61,19 +71,31 @@ class GrammarBuilder:
             self.rule(lhs, symbols)
         return self
 
-    def left(self, *terminals: str) -> "GrammarBuilder":
+    def left(self, *terminals: str, line: int | None = None) -> "GrammarBuilder":
         """Declare one ``%left`` precedence level (lowest first)."""
-        self._precedence.declare(Associativity.LEFT, (Terminal(t) for t in terminals))
+        self._precedence.declare(
+            Associativity.LEFT, (Terminal(t) for t in terminals), line=line
+        )
         return self
 
-    def right(self, *terminals: str) -> "GrammarBuilder":
+    def right(self, *terminals: str, line: int | None = None) -> "GrammarBuilder":
         """Declare one ``%right`` precedence level."""
-        self._precedence.declare(Associativity.RIGHT, (Terminal(t) for t in terminals))
+        self._precedence.declare(
+            Associativity.RIGHT, (Terminal(t) for t in terminals), line=line
+        )
         return self
 
-    def nonassoc(self, *terminals: str) -> "GrammarBuilder":
+    def nonassoc(self, *terminals: str, line: int | None = None) -> "GrammarBuilder":
         """Declare one ``%nonassoc`` precedence level."""
-        self._precedence.declare(Associativity.NONASSOC, (Terminal(t) for t in terminals))
+        self._precedence.declare(
+            Associativity.NONASSOC, (Terminal(t) for t in terminals), line=line
+        )
+        return self
+
+    def token(self, *names: str, line: int | None = None) -> "GrammarBuilder":
+        """Record ``%token`` declarations (diagnostic only; first line wins)."""
+        for name in names:
+            self._token_declarations.setdefault(name, line)
         return self
 
     def start(self, nonterminal: str) -> "GrammarBuilder":
@@ -92,20 +114,23 @@ class GrammarBuilder:
         if self._start is None:
             self._start = self._raw_rules[0][0]
 
-        nonterminal_names = {lhs for lhs, _, _ in self._raw_rules}
+        nonterminal_names = {lhs for lhs, _, _, _ in self._raw_rules}
 
         def resolve(name: str) -> Symbol:
             if name in nonterminal_names:
                 return Nonterminal(name)
             return Terminal(name)
 
-        productions: list[tuple[Nonterminal, tuple[Symbol, ...], Terminal | None]] = []
-        for lhs, rhs, prec in self._raw_rules:
+        productions: list[
+            tuple[Nonterminal, tuple[Symbol, ...], Terminal | None, int | None]
+        ] = []
+        for lhs, rhs, prec, line in self._raw_rules:
             productions.append(
                 (
                     Nonterminal(lhs),
                     tuple(resolve(name) for name in rhs),
                     Terminal(prec) if prec is not None else None,
+                    line,
                 )
             )
         return Grammar(
@@ -113,6 +138,7 @@ class GrammarBuilder:
             start=Nonterminal(self._start),
             precedence=self._precedence,
             name=self.name,
+            token_declarations=self._token_declarations,
         )
 
 

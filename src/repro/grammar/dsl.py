@@ -147,7 +147,7 @@ class _Parser:
         # Quoted symbols are meant to be terminals; a quoted name that is
         # also a rule head would silently resolve to the nonterminal, so
         # reject the collision outright.
-        rule_heads = {lhs for lhs, _, _ in builder._raw_rules}
+        rule_heads = {lhs for lhs, _, _, _ in builder._raw_rules}
         for name, line in self._quoted_names.items():
             if name in rule_heads:
                 raise GrammarSyntaxError(
@@ -185,11 +185,12 @@ class _Parser:
                 raise GrammarSyntaxError(
                     f"{directive} requires at least one terminal", line=token.line
                 )
-            getattr(builder, directive[1:])(*terminals)
+            getattr(builder, directive[1:])(*terminals, line=token.line)
             return start
         if directive == "%token":
-            # Token declarations are accepted for yacc compatibility but
-            # carry no information here: terminal-ness is inferred.
+            # Token declarations carry no grammar information (terminal-ness
+            # is inferred), but are recorded with their source line so lint
+            # passes can flag declared-but-unused tokens.
             while True:
                 lookahead = self._peek()
                 if lookahead is None or lookahead.kind not in ("name", "quoted"):
@@ -201,7 +202,8 @@ class _Parser:
                 )
                 if lookahead.kind == "name" and after is not None and after.kind == "punct" and after.text in (":", "::="):
                     break
-                self._next()
+                declared = self._next()
+                builder.token(self._symbol_name(declared), line=declared.line)
             return start
         raise GrammarSyntaxError(f"unknown directive {directive}", line=token.line)
 
@@ -217,12 +219,21 @@ class _Parser:
 
         alternative: list[str] = []
         prec: str | None = None
+        # Source line of the current alternative: the line of its first
+        # body token, falling back to the rule head for empty alternatives.
+        alt_line: int | None = None
 
         def flush() -> None:
-            nonlocal alternative, prec
-            builder.rule(lhs, alternative, prec=prec)
+            nonlocal alternative, prec, alt_line
+            builder.rule(
+                lhs,
+                alternative,
+                prec=prec,
+                line=alt_line if alt_line is not None else lhs_token.line,
+            )
             alternative = []
             prec = None
+            alt_line = None
 
         while True:
             token = self._next()
@@ -233,11 +244,15 @@ class _Parser:
                 flush()
                 continue
             if token.kind == "directive" and token.text == "%empty":
+                if alt_line is None:
+                    alt_line = token.line
                 continue
             if token.kind == "directive" and token.text == "%prec":
                 prec = self._symbol_name(self._next())
                 continue
             if token.kind in ("name", "quoted"):
+                if alt_line is None:
+                    alt_line = token.line
                 alternative.append(self._symbol_name(token))
                 continue
             raise GrammarSyntaxError(

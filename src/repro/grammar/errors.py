@@ -4,14 +4,12 @@ from __future__ import annotations
 
 
 class GrammarError(Exception):
-    """Base class for all errors raised while building or analysing a grammar."""
-
-
-class GrammarSyntaxError(GrammarError):
-    """The textual grammar DSL could not be parsed.
+    """Base class for all errors raised while building or analysing a grammar.
 
     Attributes:
-        line: 1-based line number of the offending input, if known.
+        line: 1-based line number of the offending grammar source, if known.
+            Errors raised outside the textual DSL (programmatic builder use)
+            carry ``None``.
     """
 
     def __init__(self, message: str, line: int | None = None) -> None:
@@ -19,6 +17,10 @@ class GrammarSyntaxError(GrammarError):
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
+
+
+class GrammarSyntaxError(GrammarError):
+    """The textual grammar DSL could not be parsed."""
 
 
 class UndefinedSymbolError(GrammarError):

@@ -14,7 +14,7 @@ available as :attr:`Grammar.augmented_start` and the module-level
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterator, Sequence
 
@@ -36,12 +36,18 @@ class Production:
         lhs: The nonterminal being defined.
         rhs: Right-hand side symbols; empty tuple for an epsilon production.
         prec_override: Terminal named in a ``%prec`` directive, if any.
+        line: 1-based source line of the production in the grammar text,
+            when the grammar came through the DSL; ``None`` for
+            programmatically built grammars and the augmented production.
     """
 
     index: int
     lhs: Nonterminal
     rhs: tuple[Symbol, ...]
     prec_override: Terminal | None = None
+    # Source-location metadata; excluded from equality/hash so that
+    # programmatic and DSL-loaded copies of the same production compare equal.
+    line: int | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         rhs = " ".join(str(symbol) for symbol in self.rhs) if self.rhs else "/* empty */"
@@ -61,18 +67,24 @@ class Grammar:
 
     def __init__(
         self,
-        productions: Sequence[tuple[Nonterminal, Sequence[Symbol], Terminal | None]],
+        productions: Sequence[tuple],
         start: Nonterminal,
         precedence: PrecedenceTable | None = None,
         name: str = "grammar",
+        token_declarations: dict[str, int | None] | None = None,
     ) -> None:
         """Build an augmented grammar.
 
         Args:
-            productions: Triples ``(lhs, rhs, prec_override)`` in source order.
+            productions: Triples ``(lhs, rhs, prec_override)`` — or
+                quadruples with a trailing 1-based source line — in
+                source order.
             start: The user's start symbol.
             precedence: Optional precedence declarations.
             name: Diagnostic name used in reports and benchmarks.
+            token_declarations: Terminal names declared via ``%token``
+                (or equivalent), mapped to their source line. Purely
+                diagnostic; terminal-ness is still inferred from use.
         """
         if not productions:
             raise InvalidGrammarError("a grammar needs at least one production")
@@ -80,12 +92,19 @@ class Grammar:
         self.start = start
         self.augmented_start = Nonterminal(AUGMENTED_START_NAME)
         self.precedence = precedence if precedence is not None else PrecedenceTable()
+        self.token_declarations: dict[str, int | None] = dict(
+            token_declarations or {}
+        )
 
         augmented: list[Production] = [
             Production(0, self.augmented_start, (start, END_OF_INPUT))
         ]
-        for lhs, rhs, override in productions:
-            augmented.append(Production(len(augmented), lhs, tuple(rhs), override))
+        for entry in productions:
+            lhs, rhs, override = entry[0], entry[1], entry[2]
+            line = entry[3] if len(entry) > 3 else None
+            augmented.append(
+                Production(len(augmented), lhs, tuple(rhs), override, line)
+            )
         self.productions: tuple[Production, ...] = tuple(augmented)
 
         self._by_lhs: dict[Nonterminal, tuple[Production, ...]] = {}

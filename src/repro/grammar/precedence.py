@@ -42,22 +42,44 @@ class PrecedenceTable:
 
     _levels: dict[Terminal, PrecedenceLevel] = field(default_factory=dict)
     _next_rank: int = 1
+    # Source lines are diagnostic metadata: two tables declaring the same
+    # levels are equal regardless of where the declarations were written.
+    _decl_lines: dict[Terminal, int | None] = field(default_factory=dict, compare=False)
 
-    def declare(self, associativity: Associativity, terminals: Iterable[Terminal]) -> PrecedenceLevel:
-        """Declare one precedence level for *terminals*; returns the new level."""
+    def declare(
+        self,
+        associativity: Associativity,
+        terminals: Iterable[Terminal],
+        line: int | None = None,
+    ) -> PrecedenceLevel:
+        """Declare one precedence level for *terminals*; returns the new level.
+
+        *line* is the 1-based source line of the declaration, recorded for
+        diagnostics (``None`` for programmatic declarations).
+        """
         level = PrecedenceLevel(self._next_rank, associativity)
         self._next_rank += 1
         for terminal in terminals:
             if terminal in self._levels:
                 raise DuplicateDeclarationError(
-                    f"terminal {terminal} already has a precedence level"
+                    f"terminal {terminal} already has a precedence level",
+                    line=line,
                 )
             self._levels[terminal] = level
+            self._decl_lines[terminal] = line
         return level
 
     def level_of(self, terminal: Terminal) -> PrecedenceLevel | None:
         """The precedence level of *terminal*, or ``None`` if undeclared."""
         return self._levels.get(terminal)
+
+    def declared_terminals(self) -> tuple[Terminal, ...]:
+        """All terminals with a declared precedence level, in declaration order."""
+        return tuple(self._levels)
+
+    def declaration_line(self, terminal: Terminal) -> int | None:
+        """Source line of *terminal*'s precedence declaration, if known."""
+        return self._decl_lines.get(terminal)
 
     def production_level(
         self, rhs: Sequence[Symbol], override: Terminal | None = None
@@ -84,4 +106,5 @@ class PrecedenceTable:
         table = PrecedenceTable()
         table._levels = dict(self._levels)
         table._next_rank = self._next_rank
+        table._decl_lines = dict(self._decl_lines)
         return table

@@ -27,7 +27,9 @@ from repro.grammar.symbols import Nonterminal, Symbol, Terminal
 
 def _rebuild(grammar: Grammar, keep: set[Nonterminal], name_suffix: str) -> Grammar:
     """A new grammar containing only productions over *keep* nonterminals."""
-    productions: list[tuple[Nonterminal, tuple[Symbol, ...], Terminal | None]] = []
+    productions: list[
+        tuple[Nonterminal, tuple[Symbol, ...], Terminal | None, int | None]
+    ] = []
     for production in grammar.user_productions():
         if production.lhs not in keep:
             continue
@@ -37,13 +39,19 @@ def _rebuild(grammar: Grammar, keep: set[Nonterminal], name_suffix: str) -> Gram
         ):
             continue
         productions.append(
-            (production.lhs, production.rhs, production.prec_override)
+            (
+                production.lhs,
+                production.rhs,
+                production.prec_override,
+                production.line,
+            )
         )
     return Grammar(
         productions,
         start=grammar.start,
         precedence=grammar.precedence.copy(),
         name=f"{grammar.name}{name_suffix}",
+        token_declarations=dict(grammar.token_declarations),
     )
 
 

@@ -1,0 +1,45 @@
+"""Static grammar diagnostics: the pass-based lint framework.
+
+Quick start::
+
+    from repro.grammar import load_grammar
+    from repro.lint import run_lint, render_text
+
+    report = run_lint(load_grammar(text))
+    print(render_text(report))
+
+See ``docs/LINTING.md`` for the rule catalog and
+``repro-conflicts --lint`` for the CLI surface.
+"""
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity, SourceSpan
+from repro.lint.engine import LintConfig, LintReport, run_lint
+from repro.lint.registry import LintPass, all_rules, get_rule, register, rule_ids
+from repro.lint.render import (
+    RENDERERS,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintContext",
+    "LintPass",
+    "LintReport",
+    "RENDERERS",
+    "Severity",
+    "SourceSpan",
+    "all_rules",
+    "get_rule",
+    "register",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,87 @@
+"""Shared, lazily computed artifacts for lint passes.
+
+Every pass receives one :class:`LintContext`. Expensive artifacts — the
+grammar analysis, the LALR automaton, parse tables, the SLR conflict
+count, the canonical LR(1) automaton — are computed at most once per lint
+run and shared across passes. The canonical LR(1) construction is capped
+(it can be exponential); passes must treat :attr:`LintContext.lr1` being
+``None`` with :attr:`lr1_capped` set as "unknown", not "clean".
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.automaton.lalr import LALRAutomaton, build_lalr
+from repro.automaton.lr1 import LR1Automaton
+from repro.automaton.slr import count_slr_conflicts
+from repro.grammar import Grammar, GrammarAnalysis
+from repro.lint.diagnostics import SourceSpan
+
+
+class LintContext:
+    """Everything a lint pass may consult, computed lazily and shared."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        source_path: str | None = None,
+        automaton: LALRAutomaton | None = None,
+        max_lr1_states: int = 20_000,
+    ) -> None:
+        self.grammar = grammar
+        self.source_path = source_path
+        self.max_lr1_states = max_lr1_states
+        self._automaton = automaton
+        self.lr1_capped = False
+
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def analysis(self) -> GrammarAnalysis:
+        return GrammarAnalysis(self.grammar)
+
+    @property
+    def automaton(self) -> LALRAutomaton:
+        if self._automaton is None:
+            self._automaton = build_lalr(self.grammar)
+        return self._automaton
+
+    @property
+    def tables(self):
+        return self.automaton.tables
+
+    @property
+    def conflicts(self):
+        return self.automaton.conflicts
+
+    @cached_property
+    def slr_conflict_count(self) -> int:
+        return count_slr_conflicts(self.automaton.lr0, self.automaton.analysis)
+
+    @cached_property
+    def lr1(self) -> LR1Automaton | None:
+        """The canonical LR(1) automaton, or ``None`` when capped."""
+        try:
+            return LR1Automaton(self.grammar, max_states=self.max_lr1_states)
+        except RuntimeError:
+            self.lr1_capped = True
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Span helpers
+
+    def production_span(self, production) -> SourceSpan:
+        """Span of one production (unknown for programmatic grammars)."""
+        return SourceSpan(line=production.line)
+
+    def nonterminal_span(self, nonterminal) -> SourceSpan:
+        """Span of the first production defining *nonterminal*."""
+        for production in self.grammar.productions_of(nonterminal):
+            if production.line is not None:
+                return SourceSpan(line=production.line)
+        return SourceSpan()
+
+    def precedence_span(self, terminal) -> SourceSpan:
+        """Span of *terminal*'s precedence declaration."""
+        return SourceSpan(line=self.grammar.precedence.declaration_line(terminal))

@@ -1,0 +1,111 @@
+"""The diagnostic model: severities, source spans, and diagnostics.
+
+A :class:`Diagnostic` is one finding of one lint pass: a stable rule id,
+a :class:`Severity`, a human message, an optional :class:`SourceSpan`
+pointing at the offending grammar line, and an optional fix-it hint.
+Diagnostics are plain immutable values; rendering to text, JSON, or
+SARIF lives in :mod:`repro.lint.render`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How serious a finding is. Ordered: info < warning < error."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+    def at_least(self, threshold: "Severity") -> bool:
+        """Whether this severity meets or exceeds *threshold*."""
+        return self.rank >= threshold.rank
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` value for this severity."""
+        return "note" if self is Severity.INFO else self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            known = ", ".join(s.value for s in cls)
+            raise ValueError(f"unknown severity {text!r}; known: {known}") from None
+
+
+_RANKS = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A region of the grammar source, currently line-granular.
+
+    ``line`` is 1-based; ``None`` means the finding has no single source
+    location (e.g. a whole-grammar summary). ``end_line`` defaults to
+    ``line`` for single-line spans.
+    """
+
+    line: int | None = None
+    end_line: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_line is None and self.line is not None:
+            object.__setattr__(self, "end_line", self.line)
+
+    @property
+    def known(self) -> bool:
+        return self.line is not None
+
+    def describe(self) -> str:
+        if self.line is None:
+            return ""
+        if self.end_line is not None and self.end_line != self.line:
+            return f"{self.line}-{self.end_line}"
+        return str(self.line)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        rule_id: Stable kebab-case id of the pass that produced it.
+        severity: info, warning, or error.
+        message: One-line human-readable description.
+        span: Where in the grammar source the finding points.
+        fix_hint: Optional actionable suggestion.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    span: SourceSpan = SourceSpan()
+    fix_hint: str | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready dictionary form (used by the JSON renderer)."""
+        payload: dict = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.span.known:
+            payload["line"] = self.span.line
+            if self.span.end_line != self.span.line:
+                payload["endLine"] = self.span.end_line
+        if self.fix_hint is not None:
+            payload["hint"] = self.fix_hint
+        return payload
+
+    def __str__(self) -> str:
+        location = f":{self.span.describe()}" if self.span.known else ""
+        return f"{location} {self.severity.value}[{self.rule_id}]: {self.message}".strip()

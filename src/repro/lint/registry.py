@@ -1,0 +1,95 @@
+"""The lint-pass base class and rule registry.
+
+A pass subclasses :class:`LintPass`, declares its stable ``rule_id``,
+default severity, and catalog text, and implements :meth:`LintPass.run`.
+Decorating the class with :func:`register` adds a singleton instance to
+the global registry that the engine and CLI consult. Rule ids are stable
+API: renaming one breaks ``--rule``/``--no-rule`` invocations and SARIF
+baselines.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity, SourceSpan
+
+
+class LintPass(abc.ABC):
+    """One static-diagnostic rule.
+
+    Class attributes:
+        rule_id: Stable kebab-case identifier (e.g. ``unreachable-nonterminal``).
+        severity: Default severity of this pass's diagnostics.
+        title: Short human title for catalogs and SARIF rule metadata.
+        rationale: Why the finding matters (one or two sentences).
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.WARNING
+    title: str = ""
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def run(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        """Yield diagnostics for *ctx*'s grammar."""
+
+    # ------------------------------------------------------------------ #
+
+    def diagnostic(
+        self,
+        message: str,
+        span: SourceSpan | None = None,
+        severity: Severity | None = None,
+        fix_hint: str | None = None,
+    ) -> Diagnostic:
+        """Build a diagnostic carrying this pass's id and default severity."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=severity if severity is not None else self.severity,
+            message=message,
+            span=span if span is not None else SourceSpan(),
+            fix_hint=fix_hint,
+        )
+
+
+_REGISTRY: dict[str, LintPass] = {}
+
+
+def register(cls: type[LintPass]) -> type[LintPass]:
+    """Class decorator: instantiate *cls* and add it to the registry."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"lint pass {cls.__name__} has no rule_id")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {instance.rule_id!r}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules so their registrations run."""
+    from repro.lint import rules  # noqa: F401
+
+
+def all_rules() -> list[LintPass]:
+    """Every registered pass, in registration (catalog) order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> LintPass:
+    """Look up one pass by id; raises :class:`KeyError` with known ids."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"no lint rule {rule_id!r}; known: {known}") from None
+
+
+def rule_ids() -> list[str]:
+    """All registered rule ids, in catalog order."""
+    return [rule.rule_id for rule in all_rules()]

@@ -1,0 +1,132 @@
+"""Render a :class:`~repro.lint.engine.LintReport` as text, JSON, or SARIF.
+
+The SARIF renderer targets SARIF 2.1.0 and emits the minimal valid
+document CI annotators need: ``$schema``, ``version``, one run with tool
+driver metadata, the executed rule catalog, and one result per
+diagnostic with a physical location when the source line is known.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Severity
+from repro.lint.engine import LintReport
+from repro.lint.registry import get_rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/paper-repro/conflicts"
+
+
+def render_text(report: LintReport) -> str:
+    """One ``source:line: severity[rule]: message`` line per diagnostic."""
+    label = report.source_path or f"<{report.grammar_name}>"
+    lines: list[str] = []
+    for diagnostic in report.diagnostics:
+        location = label
+        if diagnostic.span.known:
+            location += f":{diagnostic.span.describe()}"
+        lines.append(
+            f"{location}: {diagnostic.severity.value}"
+            f"[{diagnostic.rule_id}]: {diagnostic.message}"
+        )
+        if diagnostic.fix_hint:
+            lines.append(f"    hint: {diagnostic.fix_hint}")
+    counts = report.counts()
+    lines.append(
+        f"lint: {counts[Severity.ERROR.value]} errors, "
+        f"{counts[Severity.WARNING.value]} warnings, "
+        f"{counts[Severity.INFO.value]} notes "
+        f"({len(report.rules_run)} rules on grammar {report.grammar_name!r})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable machine-readable JSON (not SARIF; see :func:`render_sarif`)."""
+    payload = {
+        "grammar": report.grammar_name,
+        "source": report.source_path,
+        "rules": report.rules_run,
+        "summary": report.counts(),
+        "diagnostics": [d.as_dict() for d in report.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(report: LintReport) -> str:
+    """A SARIF 2.1.0 document with one result per diagnostic."""
+    rule_ids = list(report.rules_run)
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    rules = []
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        rules.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.title or rule.rule_id},
+                "fullDescription": {"text": rule.rationale or rule.title},
+                "defaultConfiguration": {"level": rule.severity.sarif_level},
+            }
+        )
+
+    artifact_uri = report.source_path or f"{report.grammar_name}.y"
+    results = []
+    for diagnostic in report.diagnostics:
+        result: dict = {
+            "ruleId": diagnostic.rule_id,
+            "ruleIndex": rule_index.get(diagnostic.rule_id, -1),
+            "level": diagnostic.severity.sarif_level,
+            "message": {"text": diagnostic.message},
+        }
+        location: dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": artifact_uri},
+            }
+        }
+        if diagnostic.span.known:
+            region = {"startLine": diagnostic.span.line}
+            if diagnostic.span.end_line != diagnostic.span.line:
+                region["endLine"] = diagnostic.span.end_line
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+        if diagnostic.fix_hint:
+            result["properties"] = {"hint": diagnostic.fix_hint}
+        results.append(result)
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+def render(report: LintReport, fmt: str) -> str:
+    """Dispatch to one of :data:`RENDERERS`; raises ``KeyError`` on typos."""
+    try:
+        renderer = RENDERERS[fmt]
+    except KeyError:
+        known = ", ".join(sorted(RENDERERS))
+        raise KeyError(f"unknown lint format {fmt!r}; known: {known}") from None
+    return renderer(report)

@@ -90,6 +90,7 @@ class FuzzReport:
     timeouts: int = 0
     counterexamples_validated: int = 0
     oracle_samples: int = 0
+    lint_diagnostics: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     elapsed: float = 0.0
 
@@ -117,7 +118,8 @@ class FuzzReport:
             f"{self.timeouts} timed out) over "
             f"{self.grammars_with_conflicts} conflicted grammars",
             f"  counterexamples validated: {self.counterexamples_validated}; "
-            f"oracle samples: {self.oracle_samples}",
+            f"oracle samples: {self.oracle_samples}; "
+            f"lint diagnostics: {self.lint_diagnostics}",
             "  failures: "
             + ", ".join(f"{name}={count}" for name, count in counts.items()),
         ]
@@ -137,6 +139,7 @@ class _Examination:
     timeouts: int = 0
     validated: int = 0
     samples: int = 0
+    lint_diagnostics: int = 0
     problems: list[tuple[FailureKind, str]] = field(default_factory=list)
 
     def problem_kinds(self) -> set[FailureKind]:
@@ -153,6 +156,11 @@ class FuzzHarness:
         cumulative_limit: Per-grammar unifying-search budget.
         differential: Run the cross-construction oracle each iteration.
         glr_check: Ask the validator for the GLR cross-check as well.
+        lint_check: Run every static lint pass on each fuzzed grammar;
+            any pass crash is classified as a fatal campaign failure
+            (crash-freedom canary for :mod:`repro.lint`). Lint findings
+            themselves are expected — random grammars are messy — so only
+            crashes count.
         shrink: Minimise failing grammars before reporting.
         max_shrink_attempts: Cap on re-examinations during shrinking.
         oracle_samples: Sample count per polarity for the oracle.
@@ -172,6 +180,7 @@ class FuzzHarness:
         cumulative_limit: float = 2.0,
         differential: bool = True,
         glr_check: bool = True,
+        lint_check: bool = True,
         shrink: bool = True,
         max_shrink_attempts: int = 200,
         oracle_samples: int = 6,
@@ -184,6 +193,7 @@ class FuzzHarness:
         self.cumulative_limit = cumulative_limit
         self.differential = differential
         self.glr_check = glr_check
+        self.lint_check = lint_check
         self.shrink = shrink
         self.max_shrink_attempts = max_shrink_attempts
         self.oracle_samples = oracle_samples
@@ -239,6 +249,7 @@ class FuzzHarness:
         report.timeouts += examination.timeouts
         report.counterexamples_validated += examination.validated
         report.oracle_samples += examination.samples
+        report.lint_diagnostics += examination.lint_diagnostics
         if examination.conflicts:
             report.grammars_with_conflicts += 1
 
@@ -272,6 +283,22 @@ class FuzzHarness:
                 (FailureKind.CRASH, f"automaton construction raised {error!r}")
             )
             return result
+
+        if self.lint_check:
+            from repro.lint import LintConfig, run_lint
+
+            try:
+                lint_report = run_lint(
+                    grammar,
+                    config=LintConfig(max_lr1_states=self.max_lr1_states),
+                    automaton=automaton,
+                )
+            except Exception as error:  # noqa: BLE001
+                result.problems.append(
+                    (FailureKind.CRASH, f"lint pass raised {error!r}")
+                )
+            else:
+                result.lint_diagnostics = len(lint_report.diagnostics)
 
         if self.differential:
             try:

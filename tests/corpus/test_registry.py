@@ -25,6 +25,7 @@ class TestRegistry:
         assert len(all_specs("ours")) == 7
         assert len(all_specs("stackoverflow")) == 12
         assert len(all_specs("bv10")) == 20
+        assert len(all_specs("hygiene")) == 1
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError, match="no corpus grammar"):
@@ -35,8 +36,12 @@ class TestRegistry:
         assert grammar.name == "figure1"
 
     def test_paper_rows_attached(self):
+        # Hygiene-control grammars are not Table 1 entries and carry no row.
         for spec in all_specs():
-            assert spec.paper is not None, spec.name
+            if spec.category == "hygiene":
+                assert spec.paper is None, spec.name
+            else:
+                assert spec.paper is not None, spec.name
 
 
 class TestSmallGrammarShapes:

@@ -139,6 +139,72 @@ class TestErrors:
         assert "line 2" in str(info.value)
 
 
+class TestErrorLines:
+    """Every DSL parse error carries a structured line number."""
+
+    @pytest.mark.parametrize(
+        "text,line",
+        [
+            ("s : 'a'", 1),  # unexpected EOF mid-rule
+            ("s : 'a' ;\n%bogus\n", 2),  # unknown directive
+            ("%left\ns : 'a' ;", 1),  # directive without terminals
+            ("%left '+'\n%right '+'\ne : e '+' e | ID ;", 2),  # dup decl
+            ("s : 'b' ;\nb : 'c' ;", 1),  # quoted/nonterminal collision
+            ("s : 'a' ;\nt 'x' ;", 2),  # missing ':' after rule head
+        ],
+    )
+    def test_error_carries_line(self, text, line):
+        from repro.grammar import GrammarError
+
+        # Duplicate declarations raise DuplicateDeclarationError, the
+        # rest GrammarSyntaxError; both inherit line handling from
+        # GrammarError.
+        with pytest.raises(GrammarError) as info:
+            load_grammar(text)
+        assert info.value.line == line
+        assert f"line {line}:" in str(info.value)
+
+
+class TestSourceSpans:
+    """DSL loading threads source lines into the grammar objects."""
+
+    TEXT = "%token A B\n%left '+'\ne : e '+' e\n  | A\n  | B ;\n"
+
+    def test_production_lines_per_alternative(self):
+        grammar = load_grammar(self.TEXT)
+        lines = [p.line for p in grammar.user_productions()]
+        assert lines == [3, 4, 5]
+
+    def test_augmented_production_has_no_line(self):
+        grammar = load_grammar(self.TEXT)
+        assert grammar.start_production.line is None
+
+    def test_precedence_declaration_line(self):
+        grammar = load_grammar(self.TEXT)
+        assert grammar.precedence.declaration_line(Terminal("+")) == 2
+
+    def test_token_declaration_lines(self):
+        grammar = load_grammar(self.TEXT)
+        assert grammar.token_declarations == {"A": 1, "B": 1}
+
+    def test_programmatic_grammars_have_no_lines(self):
+        from repro.grammar import GrammarBuilder
+
+        builder = GrammarBuilder("prog")
+        builder.rule("s", ["a"])
+        grammar = builder.build()
+        assert all(p.line is None for p in grammar.user_productions())
+
+    def test_line_metadata_does_not_affect_equality(self):
+        with_lines = load_grammar("s : 'a' ;")
+        programmatic_rhs = next(with_lines.user_productions())
+        assert programmatic_rhs.line == 1
+        from repro.grammar.grammar import Production
+
+        bare = Production(1, programmatic_rhs.lhs, programmatic_rhs.rhs)
+        assert bare == programmatic_rhs
+
+
 class TestRoundTrip:
     def test_figure1_text(self, figure1):
         assert figure1.name == "figure1"

@@ -1,0 +1,122 @@
+"""Renderer tests: text, JSON, and SARIF 2.1.0 structural validity."""
+
+import json
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.lint import (
+    RENDERERS,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+    run_lint,
+)
+
+# Fires unreachable-nonterminal (warning), unit-production (note with a
+# fix hint), left-recursion, and the lr-class summary.
+SAMPLE = """
+s : t ;
+t : t '+' ID | ID ;
+dead : 'x' ;
+"""
+
+
+@pytest.fixture()
+def report():
+    return run_lint(load_grammar(SAMPLE, name="sample"), source_path="sample.y")
+
+
+class TestTextRenderer:
+    def test_line_format_and_summary(self, report):
+        text = render_text(report)
+        lines = text.splitlines()
+        # Every diagnostic line is "path:line: severity[rule]: message".
+        assert any(line.startswith("sample.y:") for line in lines)
+        assert any("[unreachable-nonterminal]" in line for line in lines)
+        assert lines[-1].startswith("lint: 0 errors, 1 warnings,")
+        assert "grammar 'sample'" in lines[-1]
+
+    def test_hints_are_indented(self, report):
+        text = render_text(report)
+        hint_lines = [l for l in text.splitlines() if l.startswith("    hint:")]
+        assert hint_lines  # unit-production carries a fix hint
+
+    def test_grammar_name_label_without_path(self):
+        plain = run_lint(load_grammar(SAMPLE, name="sample"))
+        text = render_text(plain)
+        assert "<sample>:" in text
+
+
+class TestJsonRenderer:
+    def test_payload_shape(self, report):
+        data = json.loads(render_json(report))
+        assert data["grammar"] == "sample"
+        assert data["source"] == "sample.y"
+        assert set(data["summary"]) == {"info", "warning", "error"}
+        assert data["rules"] == report.rules_run
+        assert len(data["diagnostics"]) == len(report.diagnostics)
+        for entry in data["diagnostics"]:
+            assert {"rule", "severity", "message"} <= set(entry)
+            assert entry["line"] is not None  # DSL grammars carry lines
+
+
+class TestSarifRenderer:
+    """Assert the SARIF 2.1.0 required fields the acceptance criteria name."""
+
+    def test_top_level_required_fields(self, report):
+        doc = json.loads(render_sarif(report))
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        assert isinstance(doc["runs"], list) and len(doc["runs"]) == 1
+
+    def test_tool_driver_and_rule_catalog(self, report):
+        doc = json.loads(render_sarif(report))
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        catalog_ids = [rule["id"] for rule in driver["rules"]]
+        assert catalog_ids == report.rules_run
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "note", "warning", "error",
+            )
+
+    def test_results_reference_rules_and_carry_locations(self, report):
+        doc = json.loads(render_sarif(report))
+        run = doc["runs"][0]
+        catalog_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert len(run["results"]) == len(report.diagnostics)
+        for result in run["results"]:
+            assert result["ruleId"] in catalog_ids
+            assert catalog_ids[result["ruleIndex"]] == result["ruleId"]
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == "sample.y"
+            assert location["region"]["startLine"] >= 1
+
+    def test_info_maps_to_note_level(self, report):
+        doc = json.loads(render_sarif(report))
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert "note" in levels  # Severity.INFO must not leak as "info"
+        assert "info" not in levels
+
+    def test_default_artifact_uri_from_grammar_name(self):
+        plain = run_lint(load_grammar(SAMPLE, name="sample"))
+        doc = json.loads(render_sarif(plain))
+        uri = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "sample.y"
+
+
+class TestDispatcher:
+    def test_formats(self, report):
+        assert set(RENDERERS) == {"text", "json", "sarif"}
+        for fmt in RENDERERS:
+            assert render(report, fmt) == RENDERERS[fmt](report)
+
+    def test_unknown_format_raises_with_known_list(self, report):
+        with pytest.raises(KeyError, match="sarif"):
+            render(report, "xml")

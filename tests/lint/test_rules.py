@@ -1,0 +1,285 @@
+"""Per-rule unit tests: each lint rule has a minimal grammar that fires
+it and a minimal grammar that does not."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.lint import LintConfig, Severity, run_lint
+
+
+def lint_rule(text: str, rule_id: str):
+    """Run exactly one rule over DSL *text*; returns its diagnostics."""
+    grammar = load_grammar(text)
+    report = run_lint(grammar, config=LintConfig(enabled=frozenset({rule_id})))
+    assert report.rules_run == [rule_id]
+    return report.diagnostics
+
+
+class TestUnreachableNonterminal:
+    def test_fires(self):
+        diags = lint_rule("s : 'a' ;  dead : 'b' ;", "unreachable-nonterminal")
+        assert len(diags) == 1
+        assert "dead" in diags[0].message
+        assert diags[0].severity is Severity.WARNING
+        assert diags[0].span.line == 1
+
+    def test_clean(self):
+        assert lint_rule("s : 'a' s | 'b' ;", "unreachable-nonterminal") == []
+
+
+class TestNonproductiveNonterminal:
+    def test_fires(self):
+        diags = lint_rule(
+            "s : 'a' | x ;  x : x 'b' ;", "nonproductive-nonterminal"
+        )
+        assert len(diags) == 1
+        assert "x" in diags[0].message
+        assert diags[0].severity is Severity.ERROR
+
+    def test_clean(self):
+        assert lint_rule("s : 'a' s | 'b' ;", "nonproductive-nonterminal") == []
+
+
+class TestDerivationCycle:
+    def test_fires_on_unit_cycle(self):
+        diags = lint_rule("s : a ;  a : b | 'x' ;  b : a ;", "derivation-cycle")
+        assert len(diags) == 1
+        assert "a" in diags[0].message and "b" in diags[0].message
+        assert diags[0].severity is Severity.ERROR
+
+    def test_fires_on_epsilon_cycle(self):
+        # s -> n s with n nullable: s =>+ s.
+        diags = lint_rule("s : n s | 'x' ;  n : %empty | 'y' ;", "derivation-cycle")
+        assert len(diags) == 1
+
+    def test_clean(self):
+        assert lint_rule("s : a ;  a : 'x' ;", "derivation-cycle") == []
+
+
+class TestUnitProduction:
+    def test_fires(self):
+        diags = lint_rule("s : t ;  t : 'x' ;", "unit-production")
+        assert len(diags) == 1
+        assert "s ::= t" in diags[0].message
+        assert diags[0].severity is Severity.INFO
+
+    def test_clean(self):
+        assert lint_rule("s : 'a' t ;  t : 'x' ;", "unit-production") == []
+
+
+class TestLeftRecursion:
+    def test_fires(self):
+        diags = lint_rule("s : s 'a' | 'b' ;", "left-recursion")
+        assert len(diags) == 1
+        assert "left-recursive" in diags[0].message
+
+    def test_clean_on_right_recursion(self):
+        assert lint_rule("s : 'a' s | 'b' ;", "left-recursion") == []
+
+
+class TestUnusedPrecedence:
+    def test_fires_on_never_used_terminal(self):
+        diags = lint_rule("%left OP\ns : 'a' ;", "unused-precedence")
+        assert len(diags) == 1
+        assert "appears in no production" in diags[0].message
+        assert diags[0].severity is Severity.WARNING
+        assert diags[0].span.line == 1
+
+    def test_fires_conflict_irrelevant_as_info(self):
+        # ',' is used but the grammar has no conflict for it to resolve.
+        diags = lint_rule(
+            "%left ','\ns : s ',' 'a' | 'a' ;", "unused-precedence"
+        )
+        assert len(diags) == 1
+        assert "conflict-irrelevant" in diags[0].message
+        assert diags[0].severity is Severity.INFO
+
+    def test_clean_when_resolving_a_conflict(self):
+        diags = lint_rule(
+            "%left '+'\ne : e '+' e | ID ;", "unused-precedence"
+        )
+        assert diags == []
+
+
+class TestUnusedToken:
+    def test_fires_on_unused(self):
+        diags = lint_rule("%token FOO BAR\ns : FOO ;", "unused-token")
+        assert len(diags) == 1
+        assert "BAR" in diags[0].message
+        assert diags[0].span.line == 1
+
+    def test_fires_on_nonterminal_collision(self):
+        diags = lint_rule("%token s\ns : 'a' ;", "unused-token")
+        assert len(diags) == 1
+        assert "nonterminal" in diags[0].message
+
+    def test_clean(self):
+        assert lint_rule("%token A\ns : A ;", "unused-token") == []
+
+
+class TestNullableOverlap:
+    def test_fires_on_two_nullable_alternatives(self):
+        diags = lint_rule(
+            "s : a 'x' ;  a : %empty | b ;  b : %empty ;", "nullable-overlap"
+        )
+        assert any("empty string" in d.message for d in diags)
+
+    def test_fires_on_adjacent_overlapping_nullables(self):
+        diags = lint_rule(
+            "s : a b ;  a : 'x' | %empty ;  b : 'x' | %empty ;",
+            "nullable-overlap",
+        )
+        assert any("overlapping FIRST" in d.message for d in diags)
+
+    def test_clean_on_disjoint_first_sets(self):
+        diags = lint_rule(
+            "s : a b ;  a : 'x' | %empty ;  b : 'y' | %empty ;",
+            "nullable-overlap",
+        )
+        assert diags == []
+
+
+class TestDanglingElse:
+    GRAMMAR = """
+    %start stmt
+    stmt : IF expr THEN stmt ELSE stmt
+         | IF expr THEN stmt
+         | ID ;
+    expr : ID ;
+    """
+
+    def test_fires(self):
+        diags = lint_rule(self.GRAMMAR, "dangling-else")
+        assert len(diags) == 1
+        assert "dangling-ELSE" in diags[0].message
+        # Points at the longer production (the if/then/else line).
+        assert diags[0].span.line == 3
+
+    def test_clean_when_prefix_ends_with_terminal(self):
+        # Prefix pair exists but the shorter alternative ends with a
+        # terminal, so no reduce decision is pending at the junction.
+        diags = lint_rule("s : A 'x' | A 'x' C ;  A : 'a' ;", "dangling-else")
+        assert diags == []
+
+
+class TestMissingOperatorPrecedence:
+    def test_fires(self):
+        diags = lint_rule("e : e '+' e | ID ;", "missing-operator-precedence")
+        assert len(diags) == 1
+        assert "'+'" in diags[0].message or "+" in diags[0].message
+
+    def test_clean_with_declaration(self):
+        diags = lint_rule(
+            "%left '+'\ne : e '+' e | ID ;", "missing-operator-precedence"
+        )
+        assert diags == []
+
+
+class TestDeepPriorityConflict:
+    def test_fires_on_low_priority_prefix(self):
+        diags = lint_rule(
+            "%left NEG\n%left '*'\ne : e '*' e | NEG e | ID ;",
+            "deep-priority-conflict",
+        )
+        assert len(diags) == 1
+        assert "dangling-prefix" in diags[0].message
+
+    def test_fires_on_low_priority_postfix(self):
+        diags = lint_rule(
+            "%left BANG\n%left '*'\ne : e '*' e | e BANG | ID ;",
+            "deep-priority-conflict",
+        )
+        assert len(diags) == 1
+        assert "dangling-postfix" in diags[0].message
+
+    def test_clean_when_prefix_binds_tighter(self):
+        diags = lint_rule(
+            "%left '*'\n%left NEG\ne : e '*' e | NEG e | ID ;",
+            "deep-priority-conflict",
+        )
+        assert diags == []
+
+
+class TestLrClassSummary:
+    def test_slr1(self):
+        diags = lint_rule("s : '(' s ')' | 'x' ;", "lr-class")
+        assert len(diags) == 1
+        assert "SLR(1)" in diags[0].message
+        assert diags[0].severity is Severity.INFO
+
+    def test_lalr_but_not_slr(self):
+        # The textbook LALR-not-SLR grammar.
+        diags = lint_rule(
+            "S : A 'a' | 'b' A 'c' | 'd' 'c' | 'b' 'd' 'a' ;  A : 'd' ;",
+            "lr-class",
+        )
+        assert len(diags) == 1
+        assert "LALR(1) but not SLR(1)" in diags[0].message
+
+    def test_lr1_but_not_lalr(self):
+        # The textbook LR(1)-not-LALR grammar (reduce/reduce after merge).
+        diags = lint_rule(
+            "S : 'a' E 'a' | 'b' E 'b' | 'a' F 'b' | 'b' F 'a' ;"
+            "  E : 'e' ;  F : 'e' ;",
+            "lr-class",
+        )
+        assert len(diags) == 1
+        assert "LR(1) but not LALR(1)" in diags[0].message
+        assert diags[0].severity is Severity.WARNING
+
+    def test_ambiguous_grammar_not_lr1(self):
+        diags = lint_rule("e : e '+' e | ID ;", "lr-class")
+        assert len(diags) == 1
+        assert "not LR(1)" in diags[0].message
+        assert "density" in diags[0].message
+        assert diags[0].severity is Severity.WARNING
+
+
+class TestEveryRuleHasBothPolarities:
+    """Meta-test: the catalog above covers all registered rules."""
+
+    def test_all_rules_tested(self):
+        from repro.lint import rule_ids
+
+        tested = {
+            "unreachable-nonterminal",
+            "nonproductive-nonterminal",
+            "derivation-cycle",
+            "unit-production",
+            "left-recursion",
+            "unused-precedence",
+            "unused-token",
+            "nullable-overlap",
+            "dangling-else",
+            "missing-operator-precedence",
+            "deep-priority-conflict",
+            "lr-class",
+        }
+        assert set(rule_ids()) == tested
+
+
+@pytest.mark.parametrize(
+    "rule_id",
+    [
+        "unreachable-nonterminal",
+        "nonproductive-nonterminal",
+        "derivation-cycle",
+        "unit-production",
+        "left-recursion",
+        "unused-precedence",
+        "unused-token",
+        "nullable-overlap",
+        "dangling-else",
+        "missing-operator-precedence",
+        "deep-priority-conflict",
+    ],
+)
+def test_rule_silent_on_clean_control_grammar(rule_id):
+    """Every rule except the always-on summary stays silent on the
+    lint-clean control grammar."""
+    from repro.corpus import load
+
+    grammar = load("clean-json")
+    report = run_lint(grammar, config=LintConfig(enabled=frozenset({rule_id})))
+    diags = [d for d in report.diagnostics if d.severity is not Severity.INFO]
+    assert diags == []

@@ -75,3 +75,73 @@ class TestCLI:
         main(["--corpus", "ambfailed01", "--quiet"])
         output = capsys.readouterr().out
         assert "0 unifying" in output
+
+
+class TestLintCLI:
+    def test_lint_text_output_labels_source_file(self, grammar_file, capsys):
+        # Dangling-else warnings only: exit 0 under the default
+        # --fail-on error threshold.
+        assert main([grammar_file, "--lint"]) == 0
+        output = capsys.readouterr().out
+        assert "dangling.y:" in output
+        assert "warning[dangling-else]" in output
+        assert "lint:" in output
+
+    def test_fail_on_warning_flips_exit_code(self, grammar_file):
+        assert main([grammar_file, "--lint", "--fail-on", "warning"]) == 1
+
+    def test_corpus_lint(self, capsys):
+        assert main(["--corpus", "figure7", "--lint"]) == 0
+        output = capsys.readouterr().out
+        assert "<figure7>:" in output
+        assert "warning[lr-class]" in output
+
+    def test_clean_corpus_grammar_passes_fail_on_warning(self, capsys):
+        assert main(
+            ["--corpus", "clean-json", "--lint", "--fail-on", "warning"]
+        ) == 0
+        assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+    def test_json_format(self, grammar_file, capsys):
+        import json
+
+        assert main([grammar_file, "--lint", "--lint-format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["source"] == grammar_file
+        assert any(d["rule"] == "dangling-else" for d in data["diagnostics"])
+
+    def test_sarif_format(self, grammar_file, capsys):
+        import json
+
+        assert main([grammar_file, "--lint", "--lint-format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert doc["runs"][0]["results"]
+
+    def test_rule_selection(self, grammar_file, capsys):
+        assert main(
+            [grammar_file, "--lint", "--rule", "dangling-else",
+             "--fail-on", "warning"]
+        ) == 1
+        output = capsys.readouterr().out
+        assert "dangling-else" in output
+        assert "lr-class" not in output
+
+    def test_no_rule_suppression(self, grammar_file, capsys):
+        assert main(
+            [grammar_file, "--lint", "--no-rule", "dangling-else",
+             "--no-rule", "lr-class", "--fail-on", "warning"]
+        ) == 0
+        assert "dangling-else" not in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, grammar_file, capsys):
+        assert main([grammar_file, "--lint", "--rule", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "dangling-else" in err  # the known-rule list is printed
+
+    def test_fail_on_error_fires_on_error_diagnostics(self, tmp_path):
+        path = tmp_path / "nonproductive.y"
+        path.write_text("s : 'a' | x ;\nx : x 'b' ;\n")
+        assert main([str(path), "--lint"]) == 1
