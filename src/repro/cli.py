@@ -12,11 +12,12 @@ Prints one report per conflict, in the format of the paper's Figure 11.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.automaton import build_lalr
-from repro.core import CounterexampleFinder, format_report
+from repro.core import CounterexampleFinder, safe_format_report, summary_to_json
 from repro.grammar import GrammarError, load_grammar_file
 
 
@@ -74,6 +75,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
+    )
+    robust = parser.add_argument_group("resource governance")
+    robust.add_argument(
+        "--max-configurations",
+        type=int,
+        default=2_000_000,
+        metavar="N",
+        help=(
+            "hard cap on configurations per unifying search, also bounding "
+            "the LASG and backward-walk stages (default: 2000000)"
+        ),
+    )
+    robust.add_argument(
+        "--retry-timed-out",
+        action="store_true",
+        help=(
+            "after the main pass, re-search timed-out conflicts with the "
+            "leftover cumulative budget split among them"
+        ),
+    )
+    robust.add_argument(
+        "--robust-report",
+        metavar="FILE",
+        help=(
+            "write the per-conflict degradation report (ladder rung, stage "
+            "failures, stub details) as JSON to FILE ('-' for stdout); in "
+            "this mode the exit code is 0 when every conflict was explained "
+            "at some ladder rung, 1 only when the report is incomplete"
+        ),
     )
     fuzz = parser.add_argument_group("differential fuzzing")
     fuzz.add_argument(
@@ -244,6 +274,16 @@ def main(argv: list[str] | None = None) -> int:
     conflicts = automaton.conflicts
     if not conflicts:
         print(f"grammar {grammar.name!r}: no conflicts — LALR(1)")
+        if args.robust_report:
+            from repro.core import FinderSummary
+
+            # A conflict-free grammar still gets a (vacuously complete)
+            # robust report, so report consumers never miss a file.
+            status = _write_robust_report(
+                args.robust_report, FinderSummary(grammar_name=grammar.name)
+            )
+            if status is not None:
+                return status
         return 0
 
     finder = CounterexampleFinder(
@@ -252,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
         cumulative_limit=args.cumulative_limit,
         extended_search=args.extendedsearch,
         verify=not args.no_verify,
+        max_configurations=args.max_configurations,
+        retry_timed_out=args.retry_timed_out,
     )
     started = time.monotonic()
     summary = finder.explain_all()
@@ -259,14 +301,47 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.quiet:
         for report in summary.reports:
-            print(format_report(report))
+            print(safe_format_report(report))
             print()
+    extras = ""
+    if summary.num_stub:
+        extras += f", {summary.num_stub} stubs"
+    if summary.num_degraded:
+        extras += f", {summary.num_degraded} degraded"
+    if summary.num_retried:
+        extras += (
+            f", {summary.num_retry_upgraded}/{summary.num_retried} "
+            "retries upgraded"
+        )
     print(
         f"grammar {grammar.name!r}: {summary.num_conflicts} conflicts — "
         f"{summary.num_unifying} unifying, {summary.num_nonunifying} nonunifying, "
-        f"{summary.num_timeout} timed out ({elapsed:.2f}s)"
+        f"{summary.num_timeout} timed out{extras} ({elapsed:.2f}s)"
     )
+
+    if args.robust_report:
+        # The robust contract: degradation is reported in-band, so the
+        # exit code tracks report *completeness*, not conflict presence.
+        status = _write_robust_report(args.robust_report, summary)
+        if status is not None:
+            return status
+        return 0 if summary.complete else 1
     return 1
+
+
+def _write_robust_report(destination: str, summary) -> int | None:
+    """Write the robust report; returns an exit code only on I/O failure."""
+    document = json.dumps(summary_to_json(summary), indent=2)
+    if destination == "-":
+        print(document)
+        return None
+    try:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+    except OSError as error:
+        print(f"error: cannot write robust report: {error}", file=sys.stderr)
+        return 2
+    return None
 
 
 if __name__ == "__main__":  # pragma: no cover

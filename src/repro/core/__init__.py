@@ -5,7 +5,7 @@ from repro.core.configurations import (
     SuccessorGenerator,
     initial_configuration,
 )
-from repro.core.counterexample import Counterexample
+from repro.core.counterexample import ConflictStub, Counterexample
 from repro.core.derivation import DOT, Derivation, dleaf, dnode, format_symbols
 from repro.core.finder import (
     CounterexampleFinder,
@@ -22,12 +22,17 @@ from repro.core.lasg import (
 )
 from repro.core.nonunifying import CompletionError, NonunifyingBuilder
 from repro.core.product import ProductAction, ProductParser
-from repro.core.report import format_report
+from repro.core.report import (
+    format_report,
+    safe_format_report,
+    summary_to_json,
+)
 from repro.core.search import SearchResult, SearchStats, UnifyingSearch
 
 __all__ = [
     "CompletionError",
     "Configuration",
+    "ConflictStub",
     "Counterexample",
     "CounterexampleFinder",
     "DOT",
@@ -52,4 +57,6 @@ __all__ = [
     "initial_configuration",
     "path_prefix_symbols",
     "path_states",
+    "safe_format_report",
+    "summary_to_json",
 ]

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.automaton.conflicts import Conflict
 from repro.core.derivation import DOT, Derivation, format_symbols
-from repro.grammar import Nonterminal, Symbol
+from repro.grammar import Nonterminal, Symbol, Terminal
 
 
 @dataclass(frozen=True)
@@ -88,3 +88,42 @@ class Counterexample:
     def __str__(self) -> str:
         kind = "unifying" if self.unifying else "nonunifying"
         return f"<{kind} counterexample: {format_symbols(self.example1())}>"
+
+
+@dataclass(frozen=True)
+class ConflictStub:
+    """The last rung of the degradation ladder: no counterexample, but
+    everything the parser tables alone can say about the conflict.
+
+    Emitted when both the unifying search and the nonunifying
+    construction failed (fault, budget overrun, or internal
+    inconsistency), so the report still explains *where* the conflict
+    lives: the state, both items, the lookahead sets of the reduce item,
+    and the shortest lookahead-sensitive prefix when one was computed
+    before the failure.
+    """
+
+    conflict: Conflict
+    #: Precise lookaheads of the reduce item in the conflict state.
+    lookaheads: frozenset[Terminal] = frozenset()
+    #: Transition symbols of the shortest lookahead-sensitive path, when
+    #: the LASG stage completed before a later stage failed.
+    prefix: tuple[Symbol, ...] | None = None
+
+    def describe(self) -> str:
+        conflict = self.conflict
+        lines = [
+            f"Conflict stub for state #{conflict.state_id} "
+            f"under symbol {conflict.terminal}",
+            f"  reduce item: {conflict.reduce_item}",
+            f"  other item:  {conflict.other_item}",
+        ]
+        if self.lookaheads:
+            las = ", ".join(sorted(str(t) for t in self.lookaheads))
+            lines.append(f"  reduce-item lookaheads: {{{las}}}")
+        if self.prefix is not None:
+            rendered = " ".join(str(s) for s in self.prefix) or "(empty)"
+            lines.append(f"  shortest conflict prefix: {rendered}")
+        else:
+            lines.append("  shortest conflict prefix: unavailable")
+        return "\n".join(lines)

@@ -1,6 +1,6 @@
-"""Top-level counterexample finder (paper §6 policy).
+"""Top-level counterexample finder (paper §6 policy, fault-isolated).
 
-For each conflict:
+For each conflict the finder walks a guarded pipeline:
 
 1. compute the shortest lookahead-sensitive path to the conflict reduce
    item (needed both for the nonunifying construction and to restrict the
@@ -15,6 +15,20 @@ For each conflict:
 A cumulative budget (default 2 minutes) covers all unifying searches for
 one grammar; once it is spent, remaining conflicts get nonunifying
 counterexamples immediately, as in the paper's implementation.
+
+Every stage runs inside :func:`repro.robust.degrade.run_guarded`, so a
+stage failure — budget overrun, injected fault, or genuine bug — never
+kills the run. Instead the conflict degrades down the three-rung ladder
+
+    unifying → nonunifying → conflict stub
+
+and the failure is recorded as a
+:class:`~repro.robust.degrade.DegradedExplanation` on the report entry.
+The *conflict stub* rung always succeeds: it reports the conflict state,
+items, lookaheads, and whatever prefix was computed before the failure.
+With ``retry_timed_out``, conflicts whose unifying search timed out are
+re-searched afterwards with the leftover cumulative budget split among
+them.
 """
 
 from __future__ import annotations
@@ -24,12 +38,27 @@ from dataclasses import dataclass, field
 
 from repro.automaton.conflicts import Conflict
 from repro.automaton.lalr import LALRAutomaton, build_lalr
-from repro.core.counterexample import Counterexample
-from repro.core.lasg import LookaheadSensitiveGraph, path_states
+from repro.core.counterexample import ConflictStub, Counterexample
+from repro.core.lasg import (
+    LASGEdge,
+    LookaheadSensitiveGraph,
+    path_prefix_symbols,
+    path_states,
+)
 from repro.core.nonunifying import NonunifyingBuilder
 from repro.core.search import SearchStats, UnifyingSearch
 from repro.grammar import Grammar
 from repro.parsing.earley import DerivationBudgetExceeded, EarleyParser
+from repro.robust.budget import Budget, CancellationToken
+from repro.robust.degrade import (
+    DegradedExplanation,
+    Rung,
+    Stage,
+    degradation_from,
+    run_guarded,
+)
+from repro.robust.errors import Cancelled
+from repro.robust.faults import fire
 
 
 @dataclass
@@ -37,11 +66,25 @@ class FinderReport:
     """Everything the finder knows about one conflict's explanation."""
 
     conflict: Conflict
-    counterexample: Counterexample
+    counterexample: Counterexample | None
     unifying_time: float
     timed_out: bool
     stats: SearchStats | None = None
     verified: bool | None = None
+    #: The ladder rung the explanation landed on.
+    rung: Rung = Rung.NONUNIFYING
+    #: Present exactly when ``rung is Rung.STUB`` (``counterexample`` is
+    #: then ``None``).
+    stub: ConflictStub | None = None
+    #: One entry per stage failure survived while explaining this
+    #: conflict (fault injections, budget overruns, internal errors).
+    degradations: list[DegradedExplanation] = field(default_factory=list)
+    #: Whether a budget-escalating retry upgraded this report.
+    retried: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
 
 
 @dataclass
@@ -57,6 +100,15 @@ class FinderSummary:
     #: search because the cumulative budget was already spent — the
     #: parenthesised count in the paper's Table 1 (e.g. Java.2's "(983)").
     num_skipped_search: int = 0
+    #: Conflicts that fell to the stub rung (no counterexample at all).
+    num_stub: int = 0
+    #: Conflicts with at least one recorded stage degradation.
+    num_degraded: int = 0
+    #: Timed-out conflicts re-searched by the retry pass, and how many of
+    #: those retries found (and verified) a unifying counterexample.
+    num_retried: int = 0
+    num_retry_upgraded: int = 0
+    degraded_by_stage: dict[str, int] = field(default_factory=dict)
     total_time: float = 0.0
     reports: list[FinderReport] = field(default_factory=list)
 
@@ -66,9 +118,17 @@ class FinderSummary:
         answered = self.num_unifying + self.num_nonunifying
         return self.total_time / answered if answered else float("nan")
 
+    @property
+    def complete(self) -> bool:
+        """Every conflict has an entry at *some* ladder rung."""
+        return all(
+            report.counterexample is not None or report.stub is not None
+            for report in self.reports
+        )
+
 
 class CounterexampleFinder:
-    """Finds a counterexample for every conflict of a grammar."""
+    """Finds an explanation for every conflict of a grammar — always."""
 
     def __init__(
         self,
@@ -79,12 +139,16 @@ class CounterexampleFinder:
         verify: bool = True,
         max_configurations: int = 2_000_000,
         verify_step_budget: int | None = 1_000_000,
+        retry_timed_out: bool = False,
+        token: CancellationToken | None = None,
+        stage_time_limit: float | None = None,
     ) -> None:
         """
         Args:
             source: A grammar or a prebuilt automaton.
             time_limit: Per-conflict unifying-search budget in seconds
-                (the paper uses 5 s).
+                (the paper uses 5 s); also bounds the LASG, nonunifying,
+                and verification stages individually.
             cumulative_limit: Total unifying-search budget per grammar
                 (the paper uses 2 minutes).
             extended_search: Do not restrict reverse transitions to the
@@ -92,12 +156,27 @@ class CounterexampleFinder:
             verify: Cross-check unifying counterexamples with the Earley
                 oracle; unverifiable candidates are demoted to the
                 nonunifying fallback.
-            max_configurations: Hard cap per unifying search.
+            max_configurations: Hard cap per unifying search (also used as
+                the node cap for the LASG and backward-walk stages).
             verify_step_budget: Step cap for the Earley verification pass;
                 a candidate whose ambiguity cannot be confirmed within the
                 budget is demoted like any other unverifiable one. Highly
                 ambiguous cyclic grammars otherwise make the exhaustive
                 derivation count blow up.
+            retry_timed_out: After the main pass, re-search timed-out
+                conflicts with the leftover cumulative budget split among
+                them (budget escalation beyond ``time_limit``).
+            token: Cooperative cancellation; once cancelled, in-flight
+                work stops and remaining conflicts get stub entries, so
+                the summary stays complete.
+            stage_time_limit: Wall-clock bound for the structural stages
+                (LASG, nonunifying build, verification). Defaults to
+                ``max(4 * time_limit, 10.0)``: bounded — a hung stage can
+                no longer wedge the whole run — but generous, because the
+                structural stages normally finish in milliseconds and
+                shrinking the *search* budget to (near) zero is a
+                legitimate "nonunifying only" mode that must not starve
+                the stages it depends on.
         """
         if isinstance(source, LALRAutomaton):
             self.automaton = source
@@ -110,6 +189,13 @@ class CounterexampleFinder:
         self.verify = verify
         self.verify_step_budget = verify_step_budget
         self.max_configurations = max_configurations
+        self.retry_timed_out = retry_timed_out
+        self.token = token
+        self.stage_time_limit = (
+            stage_time_limit
+            if stage_time_limit is not None
+            else max(4 * time_limit, 10.0)
+        )
 
         self.graph = LookaheadSensitiveGraph(self.automaton)
         self.nonunifying = NonunifyingBuilder(self.automaton)
@@ -122,50 +208,106 @@ class CounterexampleFinder:
     def conflicts(self) -> list[Conflict]:
         return self.automaton.conflicts
 
-    def explain(self, conflict: Conflict) -> FinderReport:
-        """Produce a counterexample for one conflict."""
-        started = time.monotonic()
-        path = self.graph.shortest_path(conflict)
+    def _stage_budget(self, stage: str) -> Budget:
+        """A fresh budget for one structural stage."""
+        return Budget(
+            time_limit=self.stage_time_limit,
+            max_nodes=self.max_configurations,
+            token=self.token,
+            stage=stage,
+        )
 
-        budget_left = self.cumulative_limit - self._unifying_budget_spent
+    def explain(self, conflict: Conflict) -> FinderReport:
+        """Produce an explanation for one conflict — at some ladder rung.
+
+        Never raises except for :class:`~repro.robust.errors.Cancelled`
+        (propagated so :meth:`explain_all` can finish the report with
+        stubs) and ``KeyboardInterrupt``/``SystemExit``.
+        """
+        started = time.monotonic()
+        degradations: list[DegradedExplanation] = []
+
+        # Rung 0 prerequisite: the shortest lookahead-sensitive path.
+        path: list[LASGEdge] | None = None
+        outcome = run_guarded(
+            Stage.LASG,
+            self.graph.shortest_path,
+            conflict,
+            budget=self._stage_budget("lasg"),
+        )
+        if outcome.ok:
+            path = outcome.value
+        else:
+            assert outcome.degraded is not None
+            degradations.append(outcome.degraded)
+
         stats: SearchStats | None = None
         timed_out = False
         counterexample: Counterexample | None = None
         verified: bool | None = None
 
-        if budget_left > 0:
-            allowed = None if self.extended_search else path_states(path)
-            search = UnifyingSearch(
-                self.automaton,
-                conflict,
-                allowed_prepend_states=allowed,
-                time_limit=min(self.time_limit, budget_left),
-                max_configurations=self.max_configurations,
+        # Rung 1: the unifying search (skipped entirely once the
+        # cumulative budget is spent, as in the paper).
+        budget_left = self.cumulative_limit - self._unifying_budget_spent
+        if path is not None and budget_left > 0:
+            result, degraded = self._run_search(
+                conflict, path, min(self.time_limit, budget_left)
             )
-            result = search.run()
-            stats = result.stats
-            self._unifying_budget_spent += stats.elapsed
-            timed_out = stats.timed_out
-            if result.counterexample is not None:
-                candidate = result.counterexample
-                if self.verify:
-                    verified = self._verify(candidate)
-                    if verified:
+            if degraded is not None:
+                degradations.append(degraded)
+            if result is not None:
+                stats = result.stats
+                self._unifying_budget_spent += stats.elapsed
+                timed_out = stats.timed_out
+                if result.counterexample is not None:
+                    candidate = result.counterexample
+                    if self.verify:
+                        verify_outcome = run_guarded(
+                            Stage.VERIFY, self._verify, candidate
+                        )
+                        if verify_outcome.ok:
+                            verified = verify_outcome.value
+                        else:
+                            assert verify_outcome.degraded is not None
+                            degradations.append(verify_outcome.degraded)
+                        if verified:
+                            counterexample = candidate
+                    else:
                         counterexample = candidate
-                else:
-                    counterexample = candidate
 
+        # Rung 2: the nonunifying fallback.
+        if counterexample is None and path is not None:
+            fallback = run_guarded(
+                Stage.NONUNIFYING,
+                self.nonunifying.build,
+                conflict,
+                path=path,
+                budget=self._stage_budget("nonunifying"),
+            )
+            if fallback.ok:
+                counterexample = fallback.value
+                if timed_out:
+                    counterexample = Counterexample(
+                        conflict=counterexample.conflict,
+                        unifying=False,
+                        nonterminal=counterexample.nonterminal,
+                        derivation1=counterexample.derivation1,
+                        derivation2=counterexample.derivation2,
+                        timed_out=True,
+                    )
+            else:
+                assert fallback.degraded is not None
+                degradations.append(fallback.degraded)
+
+        # Rung 3: the conflict stub — always succeeds.
+        stub: ConflictStub | None = None
         if counterexample is None:
-            counterexample = self.nonunifying.build(conflict, path=path)
-            if timed_out:
-                counterexample = Counterexample(
-                    conflict=counterexample.conflict,
-                    unifying=False,
-                    nonterminal=counterexample.nonterminal,
-                    derivation1=counterexample.derivation1,
-                    derivation2=counterexample.derivation2,
-                    timed_out=True,
-                )
+            stub = self._stub(conflict, path)
+            rung = Rung.STUB
+        elif counterexample.unifying:
+            rung = Rung.UNIFYING
+        else:
+            rung = Rung.NONUNIFYING
 
         return FinderReport(
             conflict=conflict,
@@ -174,17 +316,82 @@ class CounterexampleFinder:
             timed_out=timed_out,
             stats=stats,
             verified=verified,
+            rung=rung,
+            stub=stub,
+            degradations=degradations,
         )
 
+    def _run_search(
+        self, conflict: Conflict, path: list[LASGEdge], time_limit: float
+    ):
+        """Rung-1 search under guard; returns ``(result, degradation)``."""
+        allowed = None if self.extended_search else path_states(path)
+        search = UnifyingSearch(
+            self.automaton,
+            conflict,
+            allowed_prepend_states=allowed,
+            budget=Budget(
+                time_limit=time_limit,
+                max_nodes=self.max_configurations,
+                token=self.token,
+                stage="search",
+            ),
+        )
+        outcome = run_guarded(Stage.SEARCH, search.run)
+        return outcome.value, outcome.degraded
+
+    def _stub(
+        self, conflict: Conflict, path: list[LASGEdge] | None
+    ) -> ConflictStub:
+        lookaheads = self.automaton.lookaheads.get(
+            (conflict.state_id, conflict.reduce_item), frozenset()
+        )
+        return ConflictStub(
+            conflict=conflict,
+            lookaheads=lookaheads,
+            prefix=path_prefix_symbols(path) if path is not None else None,
+        )
+
+    # ------------------------------------------------------------------ #
+
     def explain_all(self) -> FinderSummary:
-        """Explain every conflict; aggregates the Table 1 statistics."""
+        """Explain every conflict; aggregates the Table 1 statistics.
+
+        Completes even under cancellation: conflicts not reached before
+        the token fired are reported as stubs with a recorded
+        degradation, so the summary always covers every conflict.
+        """
+        conflicts = self.conflicts
+        reports: list[FinderReport] = []
+        try:
+            for conflict in conflicts:
+                reports.append(self.explain(conflict))
+        except Cancelled as error:
+            for conflict in conflicts[len(reports):]:
+                reports.append(self._cancelled_report(conflict, error))
+
+        if self.retry_timed_out and not (self.token and self.token.cancelled):
+            retried, upgraded = self._retry_pass(reports)
+        else:
+            retried = upgraded = 0
+
         summary = FinderSummary(grammar_name=self.grammar.name)
-        for conflict in self.conflicts:
-            report = self.explain(conflict)
+        summary.num_retried = retried
+        summary.num_retry_upgraded = upgraded
+        for report in reports:
             summary.reports.append(report)
             summary.num_conflicts += 1
-            if report.counterexample.unifying:
+            if report.degradations:
+                summary.num_degraded += 1
+                for degraded in report.degradations:
+                    stage = degraded.stage.value
+                    summary.degraded_by_stage[stage] = (
+                        summary.degraded_by_stage.get(stage, 0) + 1
+                    )
+            if report.rung is Rung.UNIFYING:
                 summary.num_unifying += 1
+            elif report.rung is Rung.STUB:
+                summary.num_stub += 1
             elif report.timed_out:
                 summary.num_timeout += 1
             else:
@@ -195,6 +402,91 @@ class CounterexampleFinder:
                 summary.total_time += report.unifying_time
         return summary
 
+    def _cancelled_report(
+        self, conflict: Conflict, error: Cancelled
+    ) -> FinderReport:
+        try:
+            stage = Stage(error.stage) if error.stage else Stage.LASG
+        except ValueError:
+            stage = Stage.LASG
+        return FinderReport(
+            conflict=conflict,
+            counterexample=None,
+            unifying_time=0.0,
+            timed_out=False,
+            rung=Rung.STUB,
+            stub=self._stub(conflict, None),
+            degradations=[degradation_from(stage, error)],
+        )
+
+    def _retry_pass(self, reports: list[FinderReport]) -> tuple[int, int]:
+        """Re-search timed-out conflicts with the leftover budget.
+
+        The leftover cumulative budget is split evenly among the
+        timed-out conflicts, escalating each retry's time limit beyond
+        the original per-conflict cap when plenty is left. A retry that
+        finds (and verifies) a unifying counterexample upgrades the
+        report entry in place.
+        """
+        leftover = self.cumulative_limit - self._unifying_budget_spent
+        candidates = [
+            index
+            for index, report in enumerate(reports)
+            if report.timed_out and report.rung is not Rung.UNIFYING
+        ]
+        if leftover <= 0 or not candidates:
+            return 0, 0
+        per_conflict = leftover / len(candidates)
+        retried = upgraded = 0
+        for index in candidates:
+            if self.cumulative_limit - self._unifying_budget_spent <= 0:
+                break
+            report = reports[index]
+            path_outcome = run_guarded(
+                Stage.LASG,
+                self.graph.shortest_path,
+                report.conflict,
+                budget=self._stage_budget("lasg"),
+            )
+            if not path_outcome.ok:
+                continue
+            retried += 1
+            result, degraded = self._run_search(
+                report.conflict, path_outcome.value, per_conflict
+            )
+            if degraded is not None:
+                report.degradations.append(degraded)
+                continue
+            if result is None or result.counterexample is None:
+                if result is not None:
+                    self._unifying_budget_spent += result.stats.elapsed
+                continue
+            self._unifying_budget_spent += result.stats.elapsed
+            candidate = result.counterexample
+            verified: bool | None = None
+            if self.verify:
+                verify_outcome = run_guarded(Stage.VERIFY, self._verify, candidate)
+                if verify_outcome.ok:
+                    verified = verify_outcome.value
+                else:
+                    assert verify_outcome.degraded is not None
+                    report.degradations.append(verify_outcome.degraded)
+                if not verified:
+                    continue
+            reports[index] = FinderReport(
+                conflict=report.conflict,
+                counterexample=candidate,
+                unifying_time=report.unifying_time + result.stats.elapsed,
+                timed_out=False,
+                stats=result.stats,
+                verified=verified,
+                rung=Rung.UNIFYING,
+                degradations=report.degradations,
+                retried=True,
+            )
+            upgraded += 1
+        return retried, upgraded
+
     # ------------------------------------------------------------------ #
 
     def _verify(self, candidate: Counterexample) -> bool:
@@ -202,8 +494,9 @@ class CounterexampleFinder:
 
         Checks that both derivations yield the same sentential form and
         that the Earley oracle finds at least two derivations of it from
-        the unifying nonterminal.
+        the unifying nonterminal, under the per-conflict time limit.
         """
+        fire("verify")
         yield1 = candidate.example1_symbols()
         yield2 = candidate.example2_symbols()
         if yield1 != yield2:
@@ -212,7 +505,14 @@ class CounterexampleFinder:
         assert nonterminal is not None
         try:
             return self._earley.is_ambiguous_form(
-                nonterminal, yield1, step_budget=self.verify_step_budget
+                nonterminal,
+                yield1,
+                step_budget=self.verify_step_budget,
+                budget=Budget(
+                    time_limit=self.stage_time_limit,
+                    token=self.token,
+                    stage="verify",
+                ),
             )
         except DerivationBudgetExceeded:
             return False
@@ -225,7 +525,7 @@ def explain_conflicts(
     extended_search: bool = False,
 ) -> list[str]:
     """Convenience wrapper: formatted CUP-style reports for every conflict."""
-    from repro.core.report import format_report
+    from repro.core.report import safe_format_report
 
     finder = CounterexampleFinder(
         grammar,
@@ -234,4 +534,4 @@ def explain_conflicts(
         extended_search=extended_search,
     )
     summary = finder.explain_all()
-    return [format_report(report) for report in summary.reports]
+    return [safe_format_report(report) for report in summary.reports]

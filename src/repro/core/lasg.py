@@ -32,6 +32,9 @@ from repro.automaton.conflicts import Conflict
 from repro.automaton.items import Item
 from repro.automaton.lalr import LALRAutomaton
 from repro.grammar import END_OF_INPUT, Nonterminal, Symbol, Terminal
+from repro.robust.budget import Budget
+from repro.robust.errors import PathNotFoundError
+from repro.robust.faults import fire
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,7 +115,9 @@ class LookaheadSensitiveGraph:
 
     # ------------------------------------------------------------------ #
 
-    def shortest_path(self, conflict: Conflict) -> list[LASGEdge]:
+    def shortest_path(
+        self, conflict: Conflict, budget: Budget | None = None
+    ) -> list[LASGEdge]:
         """Shortest lookahead-sensitive path to the conflict reduce item.
 
         The target is any vertex at the conflict state whose item is the
@@ -122,9 +127,11 @@ class LookaheadSensitiveGraph:
 
         Returns the edge list from the start vertex; the transition-edge
         symbols along it form the counterexample prefix. Raises
-        :class:`RuntimeError` if no path exists (which would indicate a
-        bug: LALR conflicts are always reachable).
+        :class:`~repro.robust.errors.PathNotFoundError` if no path exists
+        (which would indicate a bug: LALR conflicts are always reachable)
+        and the budget's structured errors when *budget* runs out.
         """
+        fire("lasg")
         target_state = self.automaton.states[conflict.state_id]
         target_item = conflict.reduce_item
         terminal = conflict.terminal
@@ -138,9 +145,12 @@ class LookaheadSensitiveGraph:
 
         start = self.start_vertex
         if (start.state_id, start.item) not in allowed_pairs:
-            raise RuntimeError(
+            raise PathNotFoundError(
                 f"start state cannot reach conflict item {target_item} "
-                f"in state {conflict.state_id}"
+                f"in state {conflict.state_id}",
+                stage="lasg",
+                conflict=str(conflict),
+                state_id=conflict.state_id,
             )
 
         parents: dict[LASGVertex, LASGEdge] = {}
@@ -148,6 +158,9 @@ class LookaheadSensitiveGraph:
         seen: set[LASGVertex] = {start}
 
         while queue:
+            if budget is not None:
+                budget.charge()
+                budget.poll("lasg")
             vertex = queue.popleft()
             if (
                 vertex.state_id == conflict.state_id
@@ -165,9 +178,12 @@ class LookaheadSensitiveGraph:
                 parents[successor] = edge
                 queue.append(successor)
 
-        raise RuntimeError(
+        raise PathNotFoundError(
             f"no lookahead-sensitive path to conflict {conflict} — "
-            "the automaton and its lookahead sets disagree"
+            "the automaton and its lookahead sets disagree",
+            stage="lasg",
+            conflict=str(conflict),
+            state_id=conflict.state_id,
         )
 
     @staticmethod

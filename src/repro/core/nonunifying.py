@@ -29,9 +29,12 @@ from repro.core.counterexample import Counterexample
 from repro.core.derivation import DOT, Derivation, dleaf, dnode
 from repro.core.lasg import LASGEdge, LookaheadSensitiveGraph
 from repro.grammar import Nonterminal, Production, Symbol, Terminal
+from repro.robust.budget import Budget
+from repro.robust.errors import ExplanationError, PathNotFoundError
+from repro.robust.faults import fire
 
 
-class CompletionError(Exception):
+class CompletionError(ExplanationError):
     """The conflict terminal could not be placed after the dot.
 
     On a lookahead-sensitive path this indicates an internal inconsistency
@@ -73,17 +76,22 @@ class NonunifyingBuilder:
     # Public API
 
     def build(
-        self, conflict: Conflict, path: list[LASGEdge] | None = None
+        self,
+        conflict: Conflict,
+        path: list[LASGEdge] | None = None,
+        budget: Budget | None = None,
     ) -> Counterexample:
         """A nonunifying counterexample for *conflict*.
 
         *path* may carry a precomputed shortest lookahead-sensitive path
-        (the unifying search also needs it, so the finder shares it).
+        (the unifying search also needs it, so the finder shares it);
+        *budget* bounds the backward walk cooperatively.
         """
+        fire("nonunifying")
         if path is None:
-            path = self.graph.shortest_path(conflict)
+            path = self.graph.shortest_path(conflict, budget=budget)
         derivation1 = self._reduce_side(conflict, path)
-        derivation2 = self._other_side(conflict, path)
+        derivation2 = self._other_side(conflict, path, budget=budget)
         return Counterexample(
             conflict=conflict,
             unifying=False,
@@ -204,9 +212,14 @@ class NonunifyingBuilder:
     # The other side: backward walk over the path's state sequence
     # (Figure 5(b)), then forward replay.
 
-    def _other_side(self, conflict: Conflict, path: list[LASGEdge]) -> Derivation:
+    def _other_side(
+        self,
+        conflict: Conflict,
+        path: list[LASGEdge],
+        budget: Budget | None = None,
+    ) -> Derivation:
         states, symbols = self._transition_sequence(path)
-        operations = self._backward_walk(conflict, states, symbols)
+        operations = self._backward_walk(conflict, states, symbols, budget=budget)
 
         frames = [_Frame(self.grammar.start_production)]
         for kind, payload in operations:
@@ -253,6 +266,7 @@ class NonunifyingBuilder:
         conflict: Conflict,
         states: list[int],
         symbols: list[Symbol],
+        budget: Budget | None = None,
     ) -> list[tuple[str, object]]:
         """Find production steps/transitions reaching the other conflict item.
 
@@ -271,6 +285,9 @@ class NonunifyingBuilder:
         queue: deque[tuple[int, Item]] = deque([origin])
         seen = {origin}
         while queue:
+            if budget is not None:
+                budget.charge()
+                budget.poll("nonunifying")
             position, item = queue.popleft()
             if (position, item) == target:
                 break
@@ -300,9 +317,12 @@ class NonunifyingBuilder:
                         parents[node] = ((position, item), "step")
                         queue.append(node)
         else:
-            raise RuntimeError(
+            raise PathNotFoundError(
                 f"no backward walk from {conflict.other_item} over the "
-                "lookahead-sensitive path's states — automaton inconsistency"
+                "lookahead-sensitive path's states — automaton inconsistency",
+                stage="nonunifying",
+                conflict=str(conflict),
+                state_id=conflict.state_id,
             )
 
         # Read the chain forward from the start item.

@@ -40,6 +40,9 @@ from repro.core.configurations import (
 )
 from repro.core.counterexample import Counterexample
 from repro.grammar import Nonterminal
+from repro.robust.budget import Budget
+from repro.robust.errors import BudgetExhausted, SearchTimeout
+from repro.robust.faults import fire
 
 
 @dataclass
@@ -51,6 +54,8 @@ class SearchStats:
     elapsed: float = 0.0
     timed_out: bool = False
     exhausted: bool = False
+    #: Why the search stopped early, when it did ("timeout", "budget").
+    stopped_reason: str | None = None
 
 
 @dataclass
@@ -76,6 +81,7 @@ class UnifyingSearch:
         time_limit: float = 5.0,
         max_configurations: int = 2_000_000,
         max_cost: float | None = 5_000.0,
+        budget: Budget | None = None,
     ) -> None:
         """
         Args:
@@ -90,6 +96,10 @@ class UnifyingSearch:
                 search that drains the frontier under this ceiling reports
                 ``exhausted`` — "eligible configurations ran out" (§6).
                 Pass ``None`` for the unbounded semi-decision procedure.
+            budget: A prebuilt :class:`~repro.robust.budget.Budget`; when
+                given it overrides ``time_limit``/``max_configurations``
+                (the finder passes one so cancellation and the cumulative
+                budget are shared across stages).
         """
         self.automaton = automaton
         self.conflict = conflict
@@ -99,14 +109,26 @@ class UnifyingSearch:
         self.time_limit = time_limit
         self.max_configurations = max_configurations
         self.max_cost = max_cost
+        self.budget = budget
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> SearchResult:
-        """Run the search to acceptance, exhaustion, or timeout."""
+        """Run the search to acceptance, exhaustion, or timeout.
+
+        Budget overruns never escape: a deadline expiry or configuration
+        cap is folded into ``stats.timed_out``/``stats.stopped_reason``
+        (cancellation, which must stop the whole run, does propagate).
+        """
+        fire("search")
         stats = SearchStats()
         started = time.monotonic()
-        deadline = started + self.time_limit
+        budget = self.budget or Budget(
+            time_limit=self.time_limit,
+            max_nodes=self.max_configurations,
+            stage="search",
+        )
+        budget.start()
 
         counter = 0
         initial = initial_configuration(self.conflict)
@@ -115,11 +137,18 @@ class UnifyingSearch:
 
         while frontier:
             stats.explored += 1
-            if stats.explored % 256 == 0 and time.monotonic() > deadline:
+            budget.charge()
+            try:
+                budget.poll("search")
+            except SearchTimeout:
                 stats.timed_out = True
+                stats.stopped_reason = "timeout"
                 break
-            if stats.explored > self.max_configurations:
+            except BudgetExhausted:
+                # Preserve the historical accounting: hitting the
+                # configuration cap counts as a timeout in Table 1.
                 stats.timed_out = True
+                stats.stopped_reason = "budget"
                 break
 
             cost, _, config = heapq.heappop(frontier)

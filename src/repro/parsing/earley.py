@@ -34,9 +34,11 @@ from repro.grammar import (
     Terminal,
 )
 from repro.parsing.tree import ParseTree, leaf, node
+from repro.robust.budget import Budget
+from repro.robust.errors import BudgetExhausted
 
 
-class DerivationBudgetExceeded(Exception):
+class DerivationBudgetExceeded(BudgetExhausted):
     """Derivation enumeration ran out of its step budget.
 
     Highly ambiguous cyclic grammars admit combinatorially many split
@@ -44,6 +46,10 @@ class DerivationBudgetExceeded(Exception):
     limit, lazy enumeration must exhaust that whole space to prove it.
     Callers that only need a quick verdict pass ``step_budget`` and treat
     this exception as "unknown" rather than a count.
+
+    A subclass of :class:`~repro.robust.errors.BudgetExhausted`, so
+    budget-aware callers can treat both step-cap and wall-clock overruns
+    uniformly.
     """
 
 
@@ -84,7 +90,10 @@ class EarleyParser:
     # Chart construction
 
     def _chart(
-        self, root: Nonterminal, tokens: Sequence[Symbol]
+        self,
+        root: Nonterminal,
+        tokens: Sequence[Symbol],
+        budget: Budget | None = None,
     ) -> list[set[EarleyItem]]:
         sets: list[set[EarleyItem]] = [set() for _ in range(len(tokens) + 1)]
 
@@ -106,6 +115,9 @@ class EarleyParser:
                 size_before = len(sets[position])
                 worklist: list[EarleyItem] = list(sets[position])
                 while worklist:
+                    if budget is not None:
+                        budget.charge()
+                        budget.poll("verify")
                     item = worklist.pop()
                     symbol = item.next_symbol
                     if symbol is None:
@@ -129,10 +141,15 @@ class EarleyParser:
     # ------------------------------------------------------------------ #
     # Recognition
 
-    def recognizes(self, root: Nonterminal, form: Sequence[Symbol]) -> bool:
+    def recognizes(
+        self,
+        root: Nonterminal,
+        form: Sequence[Symbol],
+        budget: Budget | None = None,
+    ) -> bool:
         """Whether *root* derives the sentential form *form* in >= 1 step."""
         tokens = list(form)
-        sets = self._chart(root, tokens)
+        sets = self._chart(root, tokens, budget=budget)
         return any(
             item.at_end and item.origin == 0 and item.production.lhs == root
             for item in sets[len(tokens)]
@@ -147,6 +164,7 @@ class EarleyParser:
         form: Sequence[Symbol],
         limit: int = 2,
         step_budget: int | None = None,
+        budget: Budget | None = None,
     ) -> list[ParseTree]:
         """Up to *limit* distinct derivation trees of *form* from *root*.
 
@@ -161,9 +179,12 @@ class EarleyParser:
             step_budget: Optional cap on enumeration steps; when the space
                 is larger, raises :class:`DerivationBudgetExceeded` instead
                 of searching it exhaustively.
+            budget: Optional wall-clock/node budget polled through chart
+                construction and enumeration; raises its structured
+                errors on overrun.
         """
         tokens = list(form)
-        sets = self._chart(root, tokens)
+        sets = self._chart(root, tokens, budget=budget)
         length = len(tokens)
         nullable = self._nullable()
 
@@ -193,9 +214,13 @@ class EarleyParser:
         def spend_step() -> None:
             if steps_left[0] == 0:
                 raise DerivationBudgetExceeded(
-                    f"derivation enumeration exceeded {step_budget} steps"
+                    f"derivation enumeration exceeded {step_budget} steps",
+                    stage="verify",
                 )
             steps_left[0] -= 1
+            if budget is not None:
+                budget.charge()
+                budget.poll("verify")
 
         def symbol_trees(symbol: Symbol, start: int, end: int) -> Iterator[ParseTree]:
             """All trees deriving tokens[start:end] from *symbol*."""
@@ -265,10 +290,13 @@ class EarleyParser:
         form: Sequence[Symbol],
         limit: int = 2,
         step_budget: int | None = None,
+        budget: Budget | None = None,
     ) -> int:
         """Number of distinct derivation trees, capped at *limit*."""
         return len(
-            self.derivations(root, form, limit=limit, step_budget=step_budget)
+            self.derivations(
+                root, form, limit=limit, step_budget=step_budget, budget=budget
+            )
         )
 
     def is_ambiguous_form(
@@ -276,6 +304,12 @@ class EarleyParser:
         root: Nonterminal,
         form: Sequence[Symbol],
         step_budget: int | None = None,
+        budget: Budget | None = None,
     ) -> bool:
         """Whether *form* has at least two distinct derivations from *root*."""
-        return self.count_derivations(root, form, limit=2, step_budget=step_budget) >= 2
+        return (
+            self.count_derivations(
+                root, form, limit=2, step_budget=step_budget, budget=budget
+            )
+            >= 2
+        )

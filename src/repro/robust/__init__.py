@@ -1,0 +1,75 @@
+"""Resource governance and fault isolation for the explanation pipeline.
+
+This package makes the whole counterexample pipeline budget-governed,
+cancellable, and fault-isolated:
+
+* :mod:`repro.robust.budget` — the unified :class:`Budget` /
+  :class:`Deadline` / :class:`CancellationToken` model, polled
+  cooperatively with an adaptive cadence;
+* :mod:`repro.robust.errors` — the structured
+  :class:`ExplanationError` hierarchy the stages raise;
+* :mod:`repro.robust.degrade` — the :func:`run_guarded` stage boundary
+  and the :class:`DegradedExplanation` record behind the three-rung
+  degradation ladder (unifying → nonunifying → conflict stub);
+* :mod:`repro.robust.faults` — the deterministic fault-injection
+  registry tests use to prove the ladder always terminates.
+
+See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from repro.robust.budget import AdaptiveTicker, Budget, CancellationToken, Deadline
+from repro.robust.degrade import (
+    DegradedExplanation,
+    GuardOutcome,
+    Rung,
+    Stage,
+    degradation_from,
+    run_guarded,
+)
+from repro.robust.errors import (
+    BudgetExhausted,
+    Cancelled,
+    ExplanationError,
+    MemoryBudgetExceeded,
+    PathNotFoundError,
+    SearchTimeout,
+    VerificationFailed,
+)
+from repro.robust.faults import (
+    INJECTION_POINTS,
+    FaultKind,
+    FaultRegistry,
+    FaultSpec,
+    InjectedFault,
+    fire,
+    inject_faults,
+    registry,
+)
+
+__all__ = [
+    "AdaptiveTicker",
+    "Budget",
+    "BudgetExhausted",
+    "Cancelled",
+    "CancellationToken",
+    "Deadline",
+    "DegradedExplanation",
+    "ExplanationError",
+    "FaultKind",
+    "FaultRegistry",
+    "FaultSpec",
+    "GuardOutcome",
+    "INJECTION_POINTS",
+    "InjectedFault",
+    "MemoryBudgetExceeded",
+    "PathNotFoundError",
+    "Rung",
+    "SearchTimeout",
+    "Stage",
+    "VerificationFailed",
+    "degradation_from",
+    "fire",
+    "inject_faults",
+    "registry",
+    "run_guarded",
+]

@@ -1,0 +1,132 @@
+"""The per-stage failure boundary and the degradation record.
+
+:func:`run_guarded` is the only place pipeline-stage exceptions are
+allowed to stop: it converts any failure — structured
+:class:`~repro.robust.errors.ExplanationError`, injected fault, or
+genuine bug — into a :class:`DegradedExplanation` that names the stage,
+the reason, and the captured traceback, and lets the finder fall to the
+next rung of the degradation ladder:
+
+    unifying counterexample → nonunifying counterexample → conflict stub
+
+Only :class:`~repro.robust.errors.Cancelled` passes through: a
+cancellation means "stop the run", and the finder handles it at the
+run level (remaining conflicts get stub entries, the report stays
+complete).
+"""
+
+from __future__ import annotations
+
+import enum
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+from repro.robust.errors import Cancelled, ExplanationError
+
+T = TypeVar("T")
+
+
+class Stage(enum.Enum):
+    """The five guarded pipeline stages (= fault injection points)."""
+
+    LASG = "lasg"
+    SEARCH = "search"
+    VERIFY = "verify"
+    NONUNIFYING = "nonunifying"
+    RENDER = "render"
+
+
+class Rung(enum.Enum):
+    """Where on the degradation ladder a conflict's explanation landed."""
+
+    UNIFYING = "unifying"
+    NONUNIFYING = "nonunifying"
+    STUB = "stub"
+
+
+@dataclass(frozen=True)
+class DegradedExplanation:
+    """One stage failure, recorded instead of raised.
+
+    Attributes:
+        stage: The stage that failed.
+        reason: One-line human description (the exception's message, with
+            stage/context annotations for structured errors).
+        error_type: Qualified exception class name.
+        traceback: The captured traceback text.
+        artifacts: Partial results the stage produced before failing
+            (e.g. the prefix length the LASG reached), stringified.
+    """
+
+    stage: Stage
+    reason: str
+    error_type: str
+    traceback: str = ""
+    artifacts: dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"[{self.stage.value}] {self.error_type}: {self.reason}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage.value,
+            "reason": self.reason,
+            "error_type": self.error_type,
+            "artifacts": dict(self.artifacts),
+        }
+
+
+@dataclass
+class GuardOutcome:
+    """What :func:`run_guarded` hands back: a value or a degradation."""
+
+    value: Any = None
+    degraded: DegradedExplanation | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.degraded is None
+
+
+def degradation_from(
+    stage: Stage,
+    error: BaseException,
+    artifacts: dict[str, str] | None = None,
+) -> DegradedExplanation:
+    """Build the record for *error*, preserving structured context."""
+    if isinstance(error, ExplanationError):
+        reason = error.describe()
+    else:
+        reason = str(error) or type(error).__name__
+    return DegradedExplanation(
+        stage=stage,
+        reason=reason,
+        error_type=type(error).__qualname__,
+        traceback="".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+        artifacts=artifacts or {},
+    )
+
+
+def run_guarded(
+    stage: Stage,
+    fn: Callable[..., T],
+    *args: Any,
+    artifacts: dict[str, str] | None = None,
+    **kwargs: Any,
+) -> GuardOutcome:
+    """Run one pipeline stage; never lets an exception escape.
+
+    Catches every :class:`Exception` — including ``MemoryError`` and
+    injected faults — except :class:`Cancelled`, which is re-raised for
+    the run-level handler. ``KeyboardInterrupt``/``SystemExit`` pass
+    through untouched.
+    """
+    try:
+        return GuardOutcome(value=fn(*args, **kwargs))
+    except Cancelled:
+        raise
+    except Exception as error:  # noqa: BLE001 — the fault boundary
+        return GuardOutcome(degraded=degradation_from(stage, error, artifacts))

@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the explanation pipeline.
+
+Each pipeline stage declares a *named injection point* by calling
+:func:`fire` at its entry (``lasg``, ``search``, ``verify``,
+``nonunifying``, ``render``). Tests and the fuzz campaign install
+:class:`FaultSpec`\\ s into the module registry — usually via the
+:func:`inject_faults` context manager — to force a timeout, budget
+exhaustion, generic exception, or simulated OOM at an exact arrival,
+then assert that the degradation ladder still terminates with a
+complete report.
+
+Injection is deterministic: every point counts its arrivals, and a spec
+fires on arrivals ``at .. at + count - 1``. With an empty registry
+:func:`fire` is a single attribute check, so production runs pay
+nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.robust.errors import BudgetExhausted, SearchTimeout
+
+#: The five canonical injection points, in pipeline order.
+INJECTION_POINTS = ("lasg", "search", "verify", "nonunifying", "render")
+
+
+class FaultKind(enum.Enum):
+    """What an injected fault simulates."""
+
+    TIMEOUT = "timeout"
+    BUDGET = "budget"
+    EXCEPTION = "exception"
+    OOM = "oom"
+
+
+class InjectedFault(RuntimeError):
+    """The generic injected exception (deliberately *not* an
+    :class:`~repro.robust.errors.ExplanationError` — it exercises the
+    guard's handling of unexpected errors)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Args:
+        point: Injection-point name (see :data:`INJECTION_POINTS`).
+        kind: What to raise.
+        at: Zero-based arrival index at which the fault first fires.
+        count: Number of consecutive arrivals that fire (a large value
+            makes the point fail persistently).
+        message: Attached to the raised exception.
+    """
+
+    point: str
+    kind: FaultKind = FaultKind.EXCEPTION
+    at: int = 0
+    count: int = 1
+    message: str = "injected fault"
+
+    def build_exception(self) -> BaseException:
+        detail = f"{self.message} [{self.kind.value} @ {self.point}]"
+        if self.kind is FaultKind.TIMEOUT:
+            return SearchTimeout(detail, stage=self.point, injected=True)
+        if self.kind is FaultKind.BUDGET:
+            return BudgetExhausted(detail, stage=self.point, injected=True)
+        if self.kind is FaultKind.OOM:
+            return MemoryError(detail)
+        return InjectedFault(detail)
+
+
+@dataclass
+class FaultRegistry:
+    """Arrival-counting registry behind the module-level :func:`fire`."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    arrivals: dict[str, int] = field(default_factory=dict)
+    fired: list[tuple[str, FaultKind, int]] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.specs)
+
+    def install(self, *specs: FaultSpec) -> None:
+        for spec in specs:
+            if spec.point not in INJECTION_POINTS:
+                raise ValueError(
+                    f"unknown injection point {spec.point!r}; "
+                    f"known points: {', '.join(INJECTION_POINTS)}"
+                )
+            self.specs.append(spec)
+
+    def reset(self) -> None:
+        self.specs.clear()
+        self.arrivals.clear()
+        self.fired.clear()
+
+    def fire(self, point: str) -> None:
+        """Record an arrival at *point*; raise if a spec covers it."""
+        arrival = self.arrivals.get(point, 0)
+        self.arrivals[point] = arrival + 1
+        for spec in self.specs:
+            if spec.point == point and spec.at <= arrival < spec.at + spec.count:
+                self.fired.append((point, spec.kind, arrival))
+                raise spec.build_exception()
+
+
+_REGISTRY = FaultRegistry()
+
+
+def registry() -> FaultRegistry:
+    """The process-wide registry (tests may inspect ``fired``)."""
+    return _REGISTRY
+
+
+def fire(point: str) -> None:
+    """Declare an injection point; no-op unless faults are installed."""
+    if _REGISTRY.active:
+        _REGISTRY.fire(point)
+
+
+@contextmanager
+def inject_faults(*specs: FaultSpec) -> Iterator[FaultRegistry]:
+    """Install *specs* for the duration of the ``with`` block.
+
+    The registry (including its arrival counters) is fully reset on
+    exit, so campaigns are isolated from each other.
+    """
+    _REGISTRY.reset()
+    _REGISTRY.install(*specs)
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY.reset()

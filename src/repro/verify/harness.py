@@ -32,6 +32,7 @@ from repro.automaton.lalr import build_lalr
 from repro.core.finder import CounterexampleFinder
 from repro.grammar import Grammar, dump_grammar
 from repro.grammar.errors import GrammarError
+from repro.robust.faults import registry as fault_registry
 from repro.verify.differential import DifferentialOracle
 from repro.verify.fuzz import FuzzConfig, GrammarFuzzer
 from repro.verify.validate import CounterexampleValidator
@@ -88,6 +89,11 @@ class FuzzReport:
     unifying: int = 0
     nonunifying: int = 0
     timeouts: int = 0
+    #: Conflicts that fell to the stub rung of the degradation ladder
+    #: (no counterexample at all) — should be zero without fault injection.
+    stubs: int = 0
+    #: Conflicts with at least one recorded stage degradation.
+    degraded: int = 0
     counterexamples_validated: int = 0
     oracle_samples: int = 0
     lint_diagnostics: int = 0
@@ -115,8 +121,9 @@ class FuzzReport:
             f"(base seed {self.base_seed}) in {self.elapsed:.1f}s",
             f"  conflicts explained: {self.conflicts} "
             f"({self.unifying} unifying, {self.nonunifying} nonunifying, "
-            f"{self.timeouts} timed out) over "
+            f"{self.timeouts} timed out, {self.stubs} stubs) over "
             f"{self.grammars_with_conflicts} conflicted grammars",
+            f"  degraded explanations: {self.degraded}",
             f"  counterexamples validated: {self.counterexamples_validated}; "
             f"oracle samples: {self.oracle_samples}; "
             f"lint diagnostics: {self.lint_diagnostics}",
@@ -137,6 +144,8 @@ class _Examination:
     unifying: int = 0
     nonunifying: int = 0
     timeouts: int = 0
+    stubs: int = 0
+    degraded: int = 0
     validated: int = 0
     samples: int = 0
     lint_diagnostics: int = 0
@@ -247,6 +256,8 @@ class FuzzHarness:
         report.unifying += examination.unifying
         report.nonunifying += examination.nonunifying
         report.timeouts += examination.timeouts
+        report.stubs += examination.stubs
+        report.degraded += examination.degraded
         report.counterexamples_validated += examination.validated
         report.oracle_samples += examination.samples
         report.lint_diagnostics += examination.lint_diagnostics
@@ -339,6 +350,24 @@ class FuzzHarness:
         result.unifying = summary.num_unifying
         result.nonunifying = summary.num_nonunifying
         result.timeouts = summary.num_timeout
+        result.stubs = summary.num_stub
+        result.degraded = summary.num_degraded
+        # A stub without deliberate fault injection means a pipeline stage
+        # genuinely failed on this grammar — that is a finding, not noise.
+        if summary.num_stub and not fault_registry().active:
+            for finder_report in summary.reports:
+                if finder_report.stub is None:
+                    continue
+                reasons = "; ".join(
+                    d.describe() for d in finder_report.degradations
+                ) or "no degradation recorded"
+                result.problems.append(
+                    (
+                        FailureKind.CRASH,
+                        f"conflict [{finder_report.conflict}] degraded to a "
+                        f"stub: {reasons}",
+                    )
+                )
         if summary.num_timeout:
             result.problems.append(
                 (
@@ -362,6 +391,8 @@ class FuzzHarness:
             )
             return result
         for finder_report in summary.reports:
+            if finder_report.counterexample is None:
+                continue  # stub rung: nothing to validate
             try:
                 verdict = validator.validate(finder_report.counterexample)
             except Exception as error:  # noqa: BLE001

@@ -138,3 +138,57 @@ class TestNaiveShortestPathWouldBeWrong:
         assert plain_length == 4
         sensitive = path_prefix_symbols(graph.shortest_path(conflict))
         assert len(sensitive) == 7
+
+
+class TestStructuredFailures:
+    """The former bare ``RuntimeError`` sites now raise structured,
+    context-carrying :class:`PathNotFoundError`s and honour budgets."""
+
+    def test_unreachable_lookahead_raises_path_not_found(self, graph, auto):
+        import dataclasses
+
+        from repro.robust import ExplanationError, PathNotFoundError
+
+        conflict = dataclasses.replace(
+            conflict_on(auto, "ELSE"), terminal=Terminal("NO_SUCH_TERMINAL")
+        )
+        with pytest.raises(PathNotFoundError) as excinfo:
+            graph.shortest_path(conflict)
+        error = excinfo.value
+        assert isinstance(error, ExplanationError)
+        assert error.stage == "lasg"
+        assert error.context["state_id"] == conflict.state_id
+        assert "NO_SUCH_TERMINAL" in error.context["conflict"]
+        assert "lookahead-sensitive path" in error.describe()
+
+    def test_failure_surfaces_as_degraded_stub_not_crash(self, figure1):
+        import dataclasses
+
+        from repro.core import CounterexampleFinder
+        from repro.robust import Rung, Stage
+
+        finder = CounterexampleFinder(figure1)
+        doctored = dataclasses.replace(
+            finder.conflicts[0], terminal=Terminal("NO_SUCH_TERMINAL")
+        )
+        report = finder.explain(doctored)  # must not raise
+        assert report.rung is Rung.STUB
+        assert report.stub is not None
+        assert report.degradations[0].stage is Stage.LASG
+        assert report.degradations[0].error_type == "PathNotFoundError"
+
+    def test_zero_time_budget_raises_search_timeout(self, graph, auto):
+        from repro.robust import Budget, SearchTimeout
+
+        with pytest.raises(SearchTimeout):
+            graph.shortest_path(
+                conflict_on(auto, "ELSE"), budget=Budget(time_limit=0.0)
+            )
+
+    def test_zero_node_budget_raises_budget_exhausted(self, graph, auto):
+        from repro.robust import Budget, BudgetExhausted
+
+        with pytest.raises(BudgetExhausted):
+            graph.shortest_path(
+                conflict_on(auto, "ELSE"), budget=Budget(max_nodes=0)
+            )

@@ -168,3 +168,48 @@ class TestExtendedSearch:
         for terminal in ("ELSE", "+"):
             result, _ = search_conflict(figure1, terminal, extended=True)
             assert result.succeeded
+
+
+class TestAdaptiveDeadline:
+    """Regression tests for the ``% 256`` polling bug: the deadline is
+    now re-checked on the *first* iteration and at an adaptive cadence."""
+
+    def test_zero_deadline_noticed_on_first_iteration(self, figure3):
+        from repro.robust import Budget
+
+        auto = build_lalr(figure3)
+        search = UnifyingSearch(
+            auto, auto.conflicts[0], budget=Budget(time_limit=0.0)
+        )
+        result = search.run()
+        assert not result.succeeded
+        assert result.stats.timed_out
+        assert result.stats.stopped_reason == "timeout"
+        # The old fixed-256 cadence would have explored 256 configurations
+        # before noticing; the adaptive ticker fires on iteration one.
+        assert result.stats.explored == 1
+
+    def test_configuration_cap_reports_budget_reason(self, figure3):
+        from repro.robust import Budget
+
+        auto = build_lalr(figure3)
+        search = UnifyingSearch(
+            auto, auto.conflicts[0], budget=Budget(time_limit=30.0, max_nodes=5)
+        )
+        result = search.run()
+        assert not result.succeeded
+        assert result.stats.timed_out  # historical Table 1 accounting
+        assert result.stats.stopped_reason == "budget"
+        assert result.stats.explored == 6  # cap + the poll that noticed
+
+    def test_cancellation_propagates_out_of_the_search(self, figure3):
+        from repro.robust import Budget, Cancelled, CancellationToken
+
+        auto = build_lalr(figure3)
+        token = CancellationToken()
+        token.cancel("stop everything")
+        search = UnifyingSearch(
+            auto, auto.conflicts[0], budget=Budget(token=token)
+        )
+        with pytest.raises(Cancelled):
+            search.run()

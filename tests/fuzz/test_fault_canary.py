@@ -1,0 +1,68 @@
+"""Fault-injection canary: the fuzz loop survives a faulty pipeline.
+
+The lint canary (`test_lint_canary.py`) proves the fuzz loop catches
+*finder* bugs; this canary proves the inverse robustness property — with
+whole pipeline stages failing persistently, the campaign still completes
+without a crash, every conflict lands on some ladder rung, and the
+degradations are surfaced in the campaign report rather than swallowed.
+"""
+
+from repro.robust import FaultKind, FaultSpec, inject_faults
+from repro.verify import run_fuzz_campaign
+
+from tests.fuzz.test_fuzz_smoke import SMOKE_OPTIONS
+
+PERSISTENT = 1_000_000_000  # covers every arrival in a short campaign
+
+
+class TestFaultCanary:
+    def test_campaign_survives_persistent_search_faults(self):
+        with inject_faults(
+            FaultSpec("search", FaultKind.EXCEPTION, count=PERSISTENT)
+        ):
+            report = run_fuzz_campaign(6, seed=0, **SMOKE_OPTIONS)
+        assert report.counts_by_kind()["crash"] == 0
+        assert report.conflicts > 0
+        # Every search failed, so every conflict degraded — and the
+        # degradations are visible in the campaign report.
+        assert report.degraded >= report.conflicts
+        assert "degraded explanations" in report.describe()
+
+    def test_campaign_survives_faults_at_every_structural_stage(self):
+        specs = [
+            FaultSpec(point, FaultKind.EXCEPTION, count=PERSISTENT)
+            for point in ("lasg", "search", "verify", "nonunifying")
+        ]
+        with inject_faults(*specs):
+            report = run_fuzz_campaign(6, seed=0, **SMOKE_OPTIONS)
+        assert report.counts_by_kind()["crash"] == 0
+        assert report.conflicts > 0
+        # With both counterexample rungs disabled, every conflict falls
+        # all the way to the stub rung — none are dropped.
+        assert report.stubs == report.conflicts
+
+    def test_stub_without_active_faults_is_flagged(self, monkeypatch):
+        """A stub in a *clean* run means a real pipeline failure: the
+        harness must classify it as a crash-grade problem."""
+        import repro.verify.harness as harness_module
+        from repro.core.finder import CounterexampleFinder
+        from repro.robust import Rung
+
+        class _StubbingFinder(CounterexampleFinder):
+            def explain_all(self):
+                summary = super().explain_all()
+                for entry in summary.reports:
+                    entry.counterexample = None
+                    entry.rung = Rung.STUB
+                    entry.stub = self._stub(entry.conflict, None)
+                summary.num_stub = len(summary.reports)
+                return summary
+
+        monkeypatch.setattr(
+            harness_module, "CounterexampleFinder", _StubbingFinder
+        )
+        harness = harness_module.FuzzHarness(shrink=False, **SMOKE_OPTIONS)
+        report = harness.run(1, seed=0)  # seed 0 has conflicts
+        assert report.conflicts > 0
+        assert report.counts_by_kind()["crash"] > 0
+        assert not report.ok

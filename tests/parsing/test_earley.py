@@ -137,3 +137,35 @@ class TestDerivationCounting:
         for tree in earley.derivations(e, form, limit=5):
             assert tree.symbol == e
             assert list(tree.leaf_symbols()) == form
+
+
+class TestBudgetGovernance:
+    """The verifier honours the unified budget like every other stage."""
+
+    def test_chart_stops_on_exhausted_node_budget(self):
+        from repro.robust import Budget, BudgetExhausted
+
+        grammar = load_grammar("s : s 'a' | 'a' ;")
+        parser = EarleyParser(grammar)
+        tokens = [Terminal("'a'")] * 5
+        with pytest.raises(BudgetExhausted):
+            parser.recognizes(Nonterminal("s"), tokens, budget=Budget(max_nodes=0))
+
+    def test_chart_stops_on_expired_deadline(self):
+        from repro.robust import Budget, SearchTimeout
+
+        grammar = load_grammar("s : s 'a' | 'a' ;")
+        parser = EarleyParser(grammar)
+        tokens = [Terminal("'a'")] * 5
+        with pytest.raises(SearchTimeout):
+            parser.recognizes(
+                Nonterminal("s"), tokens, budget=Budget(time_limit=0.0)
+            )
+
+    def test_step_budget_error_is_budget_exhausted(self):
+        from repro.parsing.earley import DerivationBudgetExceeded
+        from repro.robust import BudgetExhausted
+
+        # The verifier's step-cap error now lives in the structured
+        # hierarchy, so budget-aware callers can catch it uniformly.
+        assert issubclass(DerivationBudgetExceeded, BudgetExhausted)

@@ -1,0 +1,159 @@
+"""Unit tests for the unified budget model (repro.robust.budget)."""
+
+import tracemalloc
+
+import pytest
+
+from repro.robust import (
+    AdaptiveTicker,
+    Budget,
+    BudgetExhausted,
+    Cancelled,
+    CancellationToken,
+    Deadline,
+    MemoryBudgetExceeded,
+    SearchTimeout,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        clock = FakeClock(100.0)
+        deadline = Deadline.after(5.0, clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.t = 103.0
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.t = 106.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+
+class TestCancellationToken:
+    def test_cancel_is_sticky_and_carries_reason(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op before cancellation
+        token.cancel("user hit ^C")
+        assert token.cancelled
+        with pytest.raises(Cancelled, match="user hit"):
+            token.raise_if_cancelled("search")
+
+    def test_budget_poll_raises_cancelled_immediately(self):
+        token = CancellationToken()
+        budget = Budget(token=token, stage="search")
+        budget.poll()
+        token.cancel()
+        with pytest.raises(Cancelled):
+            budget.poll()
+
+
+class TestAdaptiveTicker:
+    def test_first_tick_always_fires(self):
+        ticker = AdaptiveTicker(clock=FakeClock())
+        assert ticker.tick() is True
+
+    def test_interval_grows_geometrically_when_fast(self):
+        ticker = AdaptiveTicker(clock=FakeClock(), max_interval=8)
+        intervals = []
+        for _ in range(64):
+            if ticker.tick():
+                intervals.append(ticker.interval)
+        # 2, 4, 8, then capped at 8.
+        assert intervals[:4] == [2, 4, 8, 8]
+
+    def test_slow_stretch_resets_cadence_to_one(self):
+        clock = FakeClock()
+        ticker = AdaptiveTicker(clock=clock, slow_stretch=0.05)
+        assert ticker.tick()  # fire 1: interval -> 2
+        assert not ticker.tick()
+        assert ticker.tick()  # fire 2: interval -> 4
+        clock.t += 1.0  # a slow expansion happens here
+        for _ in range(4):
+            fired = ticker.tick()
+        assert fired  # the 4-tick window elapses...
+        assert ticker.interval == 1  # ...and the slow stretch collapses it
+
+    def test_interval_never_exceeds_cap(self):
+        ticker = AdaptiveTicker(clock=FakeClock(), max_interval=16)
+        for _ in range(10_000):
+            ticker.tick()
+        assert ticker.interval <= 16
+
+
+class TestBudget:
+    def test_node_budget_exhaustion(self):
+        budget = Budget(max_nodes=3, stage="search")
+        for _ in range(3):
+            budget.charge()
+            budget.poll()
+        budget.charge()
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.poll()
+        assert excinfo.value.stage == "search"
+        assert excinfo.value.context["nodes_spent"] == 4
+
+    def test_zero_time_limit_raises_on_first_check(self):
+        clock = FakeClock(50.0)
+        budget = Budget(time_limit=0.0, clock=clock)
+        with pytest.raises(SearchTimeout):
+            budget.poll("lasg")
+
+    def test_deadline_anchors_lazily(self):
+        clock = FakeClock(10.0)
+        budget = Budget(time_limit=5.0, clock=clock)
+        clock.t = 20.0  # time passes before first use
+        budget.poll()  # anchors at t=20; deadline 25
+        clock.t = 24.0
+        budget.check()  # still inside
+        clock.t = 26.0
+        with pytest.raises(SearchTimeout):
+            budget.check()
+
+    def test_elapsed_and_remaining_time(self):
+        clock = FakeClock(0.0)
+        budget = Budget(time_limit=10.0, clock=clock).start()
+        clock.t = 4.0
+        assert budget.elapsed() == pytest.approx(4.0)
+        assert budget.remaining_time() == pytest.approx(6.0)
+
+    def test_unbounded_budget_never_raises(self):
+        budget = Budget()
+        for _ in range(10_000):
+            budget.charge()
+            budget.poll()
+
+    def test_memory_high_water_mark(self):
+        was_tracing = tracemalloc.is_tracing()
+        budget = Budget(max_memory_bytes=64 * 1024).start()
+        try:
+            ballast = bytearray(1_000_000)  # ~1 MiB, well over the budget
+            with pytest.raises(MemoryBudgetExceeded):
+                budget.check("verify")
+            del ballast
+        finally:
+            budget.close()
+        # close() restores the tracing state we found.
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_sub_budget_clips_to_parent_remaining(self):
+        clock = FakeClock(0.0)
+        parent = Budget(time_limit=10.0, token=CancellationToken(), clock=clock)
+        parent.start()
+        clock.t = 8.0
+        child = parent.sub(time_limit=5.0, stage="nonunifying")
+        assert child.time_limit == pytest.approx(2.0)
+        assert child.token is parent.token
+
+    def test_sub_budget_unbounded_parent(self):
+        parent = Budget()
+        child = parent.sub(time_limit=3.0)
+        assert child.time_limit == pytest.approx(3.0)

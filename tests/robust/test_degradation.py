@@ -1,0 +1,186 @@
+"""The fault-injection matrix and the degradation ladder.
+
+Every guarded pipeline stage crossed with every fault kind: the finder
+must complete, land the conflict on the documented ladder rung, record
+exactly the injected failure, and let nothing escape ``run_guarded``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CounterexampleFinder, safe_format_report
+from repro.robust import (
+    Cancelled,
+    CancellationToken,
+    DegradedExplanation,
+    FaultKind,
+    FaultSpec,
+    GuardOutcome,
+    Rung,
+    Stage,
+    inject_faults,
+    run_guarded,
+)
+
+ALL_KINDS = [FaultKind.TIMEOUT, FaultKind.BUDGET, FaultKind.EXCEPTION, FaultKind.OOM]
+
+#: stage -> (finder kwargs, rung conflict 0 must land on, rung the
+#: untouched conflicts land on).
+#:
+#: ``nonunifying`` runs with a zero cumulative budget so the search is
+#: skipped for *every* conflict and the nonunifying construction is the
+#: first rung attempted (hence the untouched conflicts are nonunifying
+#: there, unifying everywhere else).
+STAGE_MATRIX = {
+    "lasg": ({}, Rung.STUB, Rung.UNIFYING),
+    "search": ({}, Rung.NONUNIFYING, Rung.UNIFYING),
+    "verify": ({}, Rung.NONUNIFYING, Rung.UNIFYING),
+    "nonunifying": ({"cumulative_limit": 0.0}, Rung.STUB, Rung.NONUNIFYING),
+}
+
+
+def _only_degradation(report) -> DegradedExplanation:
+    assert len(report.degradations) == 1
+    return report.degradations[0]
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+    @pytest.mark.parametrize("stage", sorted(STAGE_MATRIX))
+    def test_finder_stage_fault(self, figure1, stage, kind):
+        kwargs, expected_rung, untouched_rung = STAGE_MATRIX[stage]
+        finder = CounterexampleFinder(figure1, **kwargs)
+        with inject_faults(FaultSpec(stage, kind, at=0)):
+            summary = finder.explain_all()  # must not raise
+
+        assert summary.complete
+        assert summary.num_conflicts == 3
+
+        faulted = summary.reports[0]
+        assert faulted.rung is expected_rung
+        assert (faulted.counterexample is None) == (expected_rung is Rung.STUB)
+        assert (faulted.stub is not None) == (expected_rung is Rung.STUB)
+        degraded = _only_degradation(faulted)
+        assert degraded.stage is Stage(stage)
+        assert "injected fault" in degraded.reason
+        assert summary.num_degraded == 1
+        assert summary.degraded_by_stage == {stage: 1}
+
+        # The fault window covered only arrival 0: the other conflicts
+        # are untouched and explain normally.
+        for report in summary.reports[1:]:
+            assert report.rung is untouched_rung
+            assert not report.degradations
+
+    @pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+    def test_render_stage_fault(self, figure1, kind):
+        finder = CounterexampleFinder(figure1)
+        summary = finder.explain_all()
+        with inject_faults(FaultSpec("render", kind, at=0)):
+            text = safe_format_report(summary.reports[0])
+            clean = safe_format_report(summary.reports[1])
+
+        assert "Report rendering failed" in text
+        degraded = _only_degradation(summary.reports[0])
+        assert degraded.stage is Stage.RENDER
+        assert "injected fault" in degraded.reason
+        # Arrival 1 renders normally.
+        assert "Report rendering failed" not in clean
+        assert "Ambiguity detected" in clean
+
+    def test_one_fault_per_stage_yields_complete_degraded_run(self, figure1):
+        """The ISSUE acceptance shape: one fault at each of the five
+        stages, one run, one recorded degradation per stage, and every
+        conflict still explained at some rung."""
+        finder = CounterexampleFinder(figure1)
+        with inject_faults(
+            *[FaultSpec(point, FaultKind.EXCEPTION, at=0)
+              for point in ("lasg", "search", "verify", "nonunifying", "render")]
+        ):
+            summary = finder.explain_all()
+            rendered = [safe_format_report(r) for r in summary.reports]
+
+        assert summary.complete
+        assert all(rendered)
+        seen = {
+            degraded.stage
+            for report in summary.reports
+            for degraded in report.degradations
+        }
+        assert seen == set(Stage)
+
+
+class TestRunGuarded:
+    def test_passes_value_through(self):
+        outcome = run_guarded(Stage.SEARCH, lambda x: x + 1, 41)
+        assert outcome.ok
+        assert outcome.value == 42
+        assert isinstance(outcome, GuardOutcome)
+
+    def test_absorbs_memory_error(self):
+        def boom():
+            raise MemoryError("simulated")
+
+        outcome = run_guarded(Stage.VERIFY, boom, artifacts={"partial": "yes"})
+        assert not outcome.ok
+        assert outcome.degraded.error_type == "MemoryError"
+        assert outcome.degraded.artifacts == {"partial": "yes"}
+        assert "MemoryError" in outcome.degraded.traceback
+
+    def test_reraises_cancelled(self):
+        def cancel():
+            raise Cancelled("stop the run", stage="search")
+
+        with pytest.raises(Cancelled):
+            run_guarded(Stage.SEARCH, cancel)
+
+    def test_reraises_keyboard_interrupt(self):
+        def interrupt():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_guarded(Stage.SEARCH, interrupt)
+
+
+class TestCancellation:
+    def test_cancelled_run_still_yields_complete_summary(self, figure1):
+        token = CancellationToken()
+        token.cancel("operator abort")
+        finder = CounterexampleFinder(figure1, token=token)
+        summary = finder.explain_all()
+
+        assert summary.complete
+        assert summary.num_stub == summary.num_conflicts == 3
+        for report in summary.reports:
+            assert report.rung is Rung.STUB
+            assert any(
+                d.error_type == "Cancelled" and "operator abort" in d.reason
+                for d in report.degradations
+            )
+
+
+class TestRetryPass:
+    def test_retry_upgrades_timed_out_conflicts(self, figure1):
+        finder = CounterexampleFinder(
+            figure1,
+            time_limit=0.0,
+            cumulative_limit=30.0,
+            retry_timed_out=True,
+        )
+        summary = finder.explain_all()
+        assert summary.num_retried == 3
+        assert summary.num_retry_upgraded == 3
+        assert summary.num_unifying == 3
+        assert summary.num_timeout == 0
+        assert all(r.retried and r.rung is Rung.UNIFYING for r in summary.reports)
+
+    def test_without_retry_timeouts_stay_nonunifying(self, figure1):
+        finder = CounterexampleFinder(
+            figure1, time_limit=0.0, cumulative_limit=30.0
+        )
+        summary = finder.explain_all()
+        assert summary.num_unifying == 0
+        assert summary.num_timeout == 3
+        assert summary.complete  # nonunifying fallbacks, not stubs
+        assert summary.num_retried == 0

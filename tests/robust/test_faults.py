@@ -1,0 +1,81 @@
+"""Unit tests for the deterministic fault-injection registry."""
+
+import pytest
+
+from repro.robust import (
+    BudgetExhausted,
+    FaultKind,
+    FaultSpec,
+    InjectedFault,
+    SearchTimeout,
+    fire,
+    inject_faults,
+    registry,
+)
+
+
+class TestFaultSpec:
+    @pytest.mark.parametrize(
+        ("kind", "expected"),
+        [
+            (FaultKind.TIMEOUT, SearchTimeout),
+            (FaultKind.BUDGET, BudgetExhausted),
+            (FaultKind.EXCEPTION, InjectedFault),
+            (FaultKind.OOM, MemoryError),
+        ],
+    )
+    def test_kind_to_exception_mapping(self, kind, expected):
+        error = FaultSpec("search", kind).build_exception()
+        assert isinstance(error, expected)
+        assert "search" in str(error)
+
+    def test_structured_kinds_carry_stage_and_injected_marker(self):
+        error = FaultSpec("verify", FaultKind.TIMEOUT).build_exception()
+        assert isinstance(error, SearchTimeout)
+        assert error.stage == "verify"
+        assert error.context["injected"] is True
+
+
+class TestRegistry:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            with inject_faults(FaultSpec("typo-stage")):
+                pass  # pragma: no cover
+        assert not registry().active  # install failure leaves it clean
+
+    def test_fire_is_noop_when_inactive(self):
+        assert not registry().active
+        fire("search")  # must not raise, must not count
+        assert registry().arrivals == {}
+
+    def test_deterministic_arrival_window(self):
+        with inject_faults(FaultSpec("lasg", FaultKind.EXCEPTION, at=2, count=2)):
+            fire("lasg")  # arrival 0
+            fire("lasg")  # arrival 1
+            with pytest.raises(InjectedFault):
+                fire("lasg")  # arrival 2
+            with pytest.raises(InjectedFault):
+                fire("lasg")  # arrival 3
+            fire("lasg")  # arrival 4 — window closed
+            assert registry().fired == [
+                ("lasg", FaultKind.EXCEPTION, 2),
+                ("lasg", FaultKind.EXCEPTION, 3),
+            ]
+
+    def test_points_count_arrivals_independently(self):
+        with inject_faults(FaultSpec("verify", at=1)):
+            fire("search")
+            fire("search")  # search arrivals do not advance verify's count
+            fire("verify")  # verify arrival 0
+            with pytest.raises(InjectedFault):
+                fire("verify")  # verify arrival 1
+
+    def test_context_manager_resets_everything(self):
+        with inject_faults(FaultSpec("render", count=100)) as reg:
+            with pytest.raises(InjectedFault):
+                fire("render")
+            assert reg.active
+        assert not registry().active
+        assert registry().arrivals == {}
+        assert registry().fired == []
+        fire("render")  # and firing is a no-op again

@@ -145,3 +145,104 @@ class TestLintCLI:
         path = tmp_path / "nonproductive.y"
         path.write_text("s : 'a' | x ;\nx : x 'b' ;\n")
         assert main([str(path), "--lint"]) == 1
+
+
+class TestRobustCLI:
+    def test_robust_report_file_and_completeness_exit(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "robust.json"
+        # With --robust-report the exit code tracks completeness, not
+        # conflict presence: figure1 has conflicts but explains them all.
+        assert main(
+            ["--corpus", "figure1", "--quiet", "--robust-report", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["grammar"] == "figure1"
+        assert data["complete"] is True
+        assert data["conflicts"] == 3
+        assert [r["rung"] for r in data["reports"]] == ["unifying"] * 3
+        assert all(r["verified"] for r in data["reports"])
+
+    def test_robust_report_stdout(self, capsys):
+        import json
+
+        assert main(["--corpus", "figure1", "--quiet", "--robust-report", "-"]) == 0
+        output = capsys.readouterr().out
+        data = json.loads(output[output.index("{"):])
+        assert data["complete"] is True
+
+    def test_robust_report_unwritable_path(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir" / "r.json"
+        assert main(
+            ["--corpus", "figure1", "--quiet", "--robust-report", str(missing)]
+        ) == 2
+        assert "cannot write robust report" in capsys.readouterr().err
+
+    def test_max_configurations_starves_but_stays_complete(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "starved.json"
+        assert main(
+            ["--corpus", "figure1", "--quiet", "--max-configurations", "1",
+             "--robust-report", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["complete"] is True  # stubs fill in, nothing is dropped
+        assert data["degraded"] > 0
+        summary_line = capsys.readouterr().out
+        assert "degraded" in summary_line
+
+    def test_retry_timed_out_upgrades_and_reports(self, capsys):
+        exit_code = main(
+            ["--corpus", "figure1", "--quiet", "--time-limit", "0",
+             "--cumulative-limit", "30", "--retry-timed-out"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1  # conflicts exist; no --robust-report
+        assert "3 unifying" in output
+        assert "3/3 retries upgraded" in output
+
+    def test_fault_at_every_stage_still_exits_zero(self, tmp_path, capsys):
+        """The acceptance scenario: one fault per pipeline stage, and the
+        run exits 0 with one recorded degradation naming each stage."""
+        import json
+
+        from repro.robust import FaultKind, FaultSpec, inject_faults
+
+        out = tmp_path / "faulted.json"
+        specs = [
+            FaultSpec(point, FaultKind.EXCEPTION, at=0)
+            for point in ("lasg", "search", "verify", "nonunifying", "render")
+        ]
+        with inject_faults(*specs):
+            exit_code = main(
+                ["--corpus", "figure1", "--robust-report", str(out)]
+            )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Report rendering failed" in output  # the render fault degraded
+        data = json.loads(out.read_text())
+        assert data["complete"] is True
+        assert data["degraded_by_stage"] == {
+            "lasg": 1, "search": 1, "verify": 1, "nonunifying": 1, "render": 1
+        }
+        reasons = [
+            d["reason"]
+            for r in data["reports"]
+            for d in r["degradations"]
+        ]
+        assert len(reasons) == 5
+        assert all("injected fault" in reason for reason in reasons)
+
+    def test_conflict_free_grammar_still_writes_robust_report(self, tmp_path):
+        import json
+
+        out = tmp_path / "clean.json"
+        assert main(
+            ["--corpus", "clean-json", "--quiet", "--robust-report", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["complete"] is True
+        assert data["conflicts"] == 0
+        assert data["reports"] == []
