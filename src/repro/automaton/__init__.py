@@ -5,7 +5,11 @@ from repro.automaton.items import Item, end_item, start_item
 from repro.automaton.lalr import LALRAutomaton, build_lalr, compute_lalr_lookaheads
 from repro.automaton.lookups import ReverseLookups
 from repro.automaton.serialize import (
+    automaton_from_dict,
+    automaton_to_dict,
+    dump_automaton,
     dump_tables,
+    load_automaton,
     load_tables,
     tables_from_dict,
     tables_to_dict,
@@ -39,14 +43,18 @@ __all__ = [
     "Reduce",
     "ReverseLookups",
     "Shift",
+    "automaton_from_dict",
+    "automaton_to_dict",
     "build_lalr",
     "build_tables",
     "closure",
     "compute_lalr_lookaheads",
     "compute_slr_lookaheads",
     "count_slr_conflicts",
+    "dump_automaton",
     "dump_tables",
     "end_item",
+    "load_automaton",
     "load_tables",
     "lr1_closure",
     "start_item",

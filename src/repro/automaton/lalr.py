@@ -22,6 +22,7 @@ from functools import cached_property
 
 from repro.automaton.items import Item
 from repro.automaton.lr0 import LR0Automaton, LR0State
+from repro.perf import metrics
 from repro.grammar import (
     END_OF_INPUT,
     Grammar,
@@ -97,11 +98,29 @@ class LALRAutomaton:
 
     def __init__(self, grammar: Grammar) -> None:
         self.grammar = grammar
-        self.analysis = GrammarAnalysis(grammar)
-        self.lr0 = LR0Automaton(grammar)
-        self.lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = (
-            compute_lalr_lookaheads(self.lr0, self.analysis)
+        with metrics.span("automaton"):
+            with metrics.span("lr0"):
+                self.lr0 = LR0Automaton(grammar)
+            with metrics.span("lookaheads"):
+                self.lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = (
+                    compute_lalr_lookaheads(self.lr0, self.analysis)
+                )
+        metrics.count("automaton.states", len(self.lr0.states))
+        metrics.count(
+            "automaton.items",
+            sum(len(state.items) for state in self.lr0.states),
         )
+
+    @cached_property
+    def analysis(self) -> GrammarAnalysis:
+        """Nullable/FIRST analysis, computed on first use.
+
+        Lazy so that an automaton rebuilt from the serialized cache
+        (:mod:`repro.perf.cache`) only pays for the analysis when a
+        consumer — the LASG, the lint engine — actually asks for it.
+        """
+        with metrics.span("analysis"):
+            return GrammarAnalysis(self.grammar)
 
     # ------------------------------------------------------------------ #
     # State graph queries
@@ -135,7 +154,10 @@ class LALRAutomaton:
         """ACTION/GOTO parse tables with precedence-based conflict resolution."""
         from repro.automaton.tables import build_tables
 
-        return build_tables(self)
+        with metrics.span("tables"):
+            tables = build_tables(self)
+        metrics.count("automaton.conflicts", len(tables.conflicts))
+        return tables
 
     @property
     def conflicts(self):

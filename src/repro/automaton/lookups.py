@@ -14,27 +14,45 @@ not normally answer:
 :class:`ReverseLookups` materialises these tables once per automaton,
 before the first conflict is processed, exactly as the implementation
 described in the paper does.
+
+The per-target ``reaching_pairs`` results are memoised in a *bounded*
+LRU cache (``max_cache_entries``, default 128): each entry can hold a
+large fraction of the automaton's ``(state, item)`` pairs, so an
+unbounded cache on a long-lived automaton — a corpus sweep, a fuzz
+campaign re-using one table — grows with every distinct conflict item
+ever queried. Hits, misses, and evictions are tracked on the instance
+(:meth:`ReverseLookups.cache_info`) and mirrored to the metrics layer
+(``lookups.reaching.*``) when profiling is active.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.automaton.items import Item
 from repro.automaton.lr0 import LR0State
+from repro.perf import metrics
 from repro.grammar import Nonterminal
 
 
 class ReverseLookups:
     """Precomputed reverse transition / reverse production-step tables."""
 
-    def __init__(self, automaton) -> None:
+    def __init__(self, automaton, max_cache_entries: int = 128) -> None:
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive")
         self._automaton = automaton
+        self.max_cache_entries = max_cache_entries
         #: (state_id, nonterminal) -> items ``A -> α . B β`` of that state.
         self.production_parents: dict[tuple[int, Nonterminal], list[Item]] = {}
         #: state_id -> items of the state, as a set for membership tests.
         self.item_sets: dict[int, frozenset[Item]] = {}
-        self._reaching_cache: dict[
+        self._reaching_cache: OrderedDict[
             tuple[int, Item], frozenset[tuple[int, Item]]
-        ] = {}
+        ] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
         for state in automaton.states:
             self.item_sets[state.id] = frozenset(state.items)
             for item in state.items:
@@ -90,12 +108,17 @@ class ReverseLookups:
         target pair. The result bounds the shortest lookahead-sensitive
         path search (§6 "Finding shortest lookahead-sensitive path") —
         any path vertex must be one of these pairs. Results are cached
-        per target pair.
+        per target pair in a bounded LRU (see the module docstring).
         """
         cache_key = (state.id, item)
         cached = self._reaching_cache.get(cache_key)
         if cached is not None:
+            self._reaching_cache.move_to_end(cache_key)
+            self._cache_hits += 1
+            metrics.count("lookups.reaching.hit")
             return cached
+        self._cache_misses += 1
+        metrics.count("lookups.reaching.miss")
         seen: set[tuple[int, Item]] = {cache_key}
         frontier: list[tuple[LR0State, Item]] = [(state, item)]
         while frontier:
@@ -116,6 +139,10 @@ class ReverseLookups:
                     frontier.append((current_state, parent_item))
         result = frozenset(seen)
         self._reaching_cache[cache_key] = result
+        if len(self._reaching_cache) > self.max_cache_entries:
+            self._reaching_cache.popitem(last=False)
+            self._cache_evictions += 1
+            metrics.count("lookups.reaching.evicted")
         return result
 
     def states_reaching(self, state: LR0State, item: Item) -> frozenset[int]:
@@ -123,3 +150,19 @@ class ReverseLookups:
         return frozenset(
             state_id for state_id, _ in self.reaching_pairs(state, item)
         )
+
+    # ------------------------------------------------------------------ #
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/eviction counters and current size of the LRU cache."""
+        return {
+            "entries": len(self._reaching_cache),
+            "max_entries": self.max_cache_entries,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+        }
+
+    def clear_reaching_cache(self) -> None:
+        """Drop every memoised ``reaching_pairs`` result (counters kept)."""
+        self._reaching_cache.clear()

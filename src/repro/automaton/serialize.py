@@ -1,4 +1,4 @@
-"""Serialize parse tables to and from plain dictionaries.
+"""Serialize parse tables — and whole automatons — to plain dictionaries.
 
 Production parser generators emit their tables so that parsing does not
 repeat automaton construction. This module provides that:
@@ -10,9 +10,20 @@ repeat automaton construction. This module provides that:
   view sufficient to run :class:`~repro.parsing.runtime.LRParser`;
 * :func:`dump_tables` / :func:`load_tables` — the same through JSON text.
 
-Conflicts are intentionally *not* serialized: tables are only emitted for
-grammars one intends to parse with, and the loader refuses tables whose
-source automaton had unresolved conflicts unless ``allow_conflicts``.
+Conflicts are intentionally *not* serialized in the table format: tables
+are only emitted for grammars one intends to parse with, and the loader
+refuses tables whose source automaton had unresolved conflicts unless
+``allow_conflicts``.
+
+The **full-automaton format** (:func:`automaton_to_dict` /
+:func:`automaton_from_dict`) additionally captures everything the
+*counterexample* pipeline needs — item sets, the transition graph, the
+per-item LALR(1) lookahead function, and the unresolved conflicts — so a
+:class:`~repro.automaton.lalr.LALRAutomaton` can be reconstructed without
+re-running LR(0) construction or the lookahead fixpoint. Lookahead sets
+are pooled (most items share one of a few hundred distinct sets), which
+keeps the document small and the decode fast; this format backs the
+content-addressed cache in :mod:`repro.perf.cache`.
 """
 
 from __future__ import annotations
@@ -20,11 +31,19 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.automaton.conflicts import Conflict, ConflictKind
+from repro.automaton.items import Item
 from repro.automaton.lalr import LALRAutomaton
+from repro.automaton.lr0 import LR0Automaton, LR0State
 from repro.automaton.tables import Accept, Action, ErrorAction, ParseTables, Reduce, Shift
-from repro.grammar import Grammar, Nonterminal, Terminal
+from repro.grammar import Grammar, Nonterminal, Symbol, Terminal
 
 FORMAT_VERSION = 1
+
+#: Version of the full-automaton format. Bump on any change to the
+#: encoding below; :mod:`repro.perf.cache` folds it into the cache key,
+#: so stale cache entries self-invalidate.
+FULL_FORMAT_VERSION = 1
 
 
 def tables_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
@@ -129,3 +148,217 @@ def dump_tables(automaton: LALRAutomaton) -> str:
 def load_tables(text: str, allow_conflicts: bool = False) -> tuple[ParseTables, Grammar]:
     """Inverse of :func:`dump_tables`."""
     return tables_from_dict(json.loads(text), allow_conflicts=allow_conflicts)
+
+
+# ---------------------------------------------------------------------- #
+# The full-automaton format (see the module docstring)
+
+
+def _encode_full_action(action: Action) -> list[Any]:
+    if isinstance(action, Shift):
+        return ["s", action.state_id]
+    if isinstance(action, Reduce):
+        return ["r", action.production.index]
+    if isinstance(action, Accept):
+        return ["a"]
+    return ["e"]
+
+
+def automaton_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
+    """A JSON-compatible snapshot of the *whole* automaton.
+
+    Captures the grammar (as DSL text — :func:`repro.grammar.emit.dump_grammar`
+    round-trips production order, start symbol, and precedence), the
+    state graph with item sets and transitions, the pooled lookahead
+    function, and the fully built parse tables including unresolved
+    conflicts. Parse tables are forced if not yet built.
+    """
+    grammar = automaton.grammar
+    tables = automaton.tables  # force, so conflicts are captured
+    from repro.grammar.emit import dump_grammar
+
+    term_codes: dict[Terminal, int] = {}
+
+    def code_of(terminal: Terminal) -> int:
+        code = term_codes.get(terminal)
+        if code is None:
+            code = term_codes[terminal] = len(term_codes)
+        return code
+
+    pool_index: dict[tuple[int, ...], int] = {}
+    pool: list[list[int]] = []
+    states: list[dict[str, Any]] = []
+    lookahead_rows: list[list[int]] = []
+    for state in automaton.states:
+        states.append(
+            {
+                "k": len(state.kernel),
+                "items": [[item.production.index, item.dot] for item in state.items],
+                "trans": [
+                    [str(symbol), target.id]
+                    for symbol, target in state.transitions.items()
+                ],
+            }
+        )
+        row: list[int] = []
+        for item in state.items:
+            # Sort by name *before* assigning codes so the pool layout is
+            # independent of set iteration order (dump is deterministic).
+            key = tuple(
+                code_of(t)
+                for t in sorted(
+                    automaton.lookaheads[(state.id, item)], key=lambda t: t.name
+                )
+            )
+            index = pool_index.get(key)
+            if index is None:
+                index = pool_index[key] = len(pool)
+                pool.append(list(key))
+            row.append(index)
+        lookahead_rows.append(row)
+
+    return {
+        "full_version": FULL_FORMAT_VERSION,
+        "grammar": grammar.name,
+        "grammar_dsl": dump_grammar(grammar),
+        "terminals": [t.name for t in term_codes],
+        "states": states,
+        "la_pool": pool,
+        "lookaheads": lookahead_rows,
+        "action": [
+            {str(t): _encode_full_action(a) for t, a in row.items()}
+            for row in tables.action
+        ],
+        "goto": [
+            {str(nt): target for nt, target in row.items()} for row in tables.goto
+        ],
+        "conflicts": [
+            {
+                "state": c.state_id,
+                "terminal": str(c.terminal),
+                "kind": c.kind.value,
+                "reduce": [c.reduce_item.production.index, c.reduce_item.dot],
+                "other": [c.other_item.production.index, c.other_item.dot],
+            }
+            for c in tables.conflicts
+        ],
+        "resolved_count": tables.resolved_count,
+        "used_precedence": sorted(str(t) for t in tables.used_precedence),
+    }
+
+
+def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
+    """Reconstruct an :class:`LALRAutomaton` from :func:`automaton_to_dict`.
+
+    The grammar is reloaded from its embedded DSL text (identical
+    production indices by the emitter's round-trip guarantee); states,
+    transitions, lookaheads, and tables are rebuilt directly, skipping
+    LR(0) construction, the lookahead fixpoint, and table building. The
+    nullable/FIRST analysis stays lazy and is recomputed on first use.
+    """
+    version = data.get("full_version")
+    if version != FULL_FORMAT_VERSION:
+        raise ValueError(f"unsupported full-automaton format version {version!r}")
+
+    from repro.grammar.dsl import load_grammar
+
+    grammar = load_grammar(data["grammar_dsl"], name=data.get("grammar", "grammar"))
+    productions = grammar.productions
+    nonterminal_names = {nt.name for nt in grammar.nonterminals}
+
+    def symbol_of(name: str) -> Symbol:
+        if name in nonterminal_names:
+            return Nonterminal(name)
+        return Terminal(name)
+
+    terminals = [Terminal(name) for name in data["terminals"]]
+    pool_sets = [
+        frozenset(terminals[code] for code in codes) for codes in data["la_pool"]
+    ]
+
+    states: list[LR0State] = []
+    for state_id, encoded in enumerate(data["states"]):
+        items = tuple(Item(productions[p], dot) for p, dot in encoded["items"])
+        states.append(
+            LR0State(
+                id=state_id,
+                kernel=frozenset(items[: encoded["k"]]),
+                items=items,
+            )
+        )
+
+    lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = {}
+    for state, encoded, row in zip(states, data["states"], data["lookaheads"]):
+        for name, target in encoded["trans"]:
+            state.transitions[symbol_of(name)] = states[target]
+        for item, pool_id in zip(state.items, row):
+            lookaheads[(state.id, item)] = pool_sets[pool_id]
+
+    predecessors: dict[int, dict[Symbol, list[LR0State]]] = {
+        state.id: {} for state in states
+    }
+    for state in states:
+        for symbol, target in state.transitions.items():
+            predecessors[target.id].setdefault(symbol, []).append(state)
+
+    lr0 = LR0Automaton.__new__(LR0Automaton)
+    lr0.grammar = grammar
+    lr0.states = states
+    lr0._by_kernel = {state.kernel: state for state in states}
+    lr0.predecessors = predecessors
+
+    def decode_action(encoded: list[Any]) -> Action:
+        tag = encoded[0]
+        if tag == "s":
+            return Shift(encoded[1])
+        if tag == "r":
+            return Reduce(productions[encoded[1]])
+        if tag == "a":
+            return Accept()
+        return ErrorAction()
+
+    conflicts = [
+        Conflict(
+            state_id=entry["state"],
+            terminal=Terminal(entry["terminal"]),
+            kind=ConflictKind(entry["kind"]),
+            reduce_item=Item(productions[entry["reduce"][0]], entry["reduce"][1]),
+            other_item=Item(productions[entry["other"][0]], entry["other"][1]),
+        )
+        for entry in data["conflicts"]
+    ]
+    tables = ParseTables(
+        action=[
+            {Terminal(name): decode_action(encoded) for name, encoded in row.items()}
+            for row in data["action"]
+        ],
+        goto=[
+            {Nonterminal(name): target for name, target in row.items()}
+            for row in data["goto"]
+        ],
+        conflicts=conflicts,
+        resolved_count=data.get("resolved_count", 0),
+        used_precedence=frozenset(
+            Terminal(name) for name in data.get("used_precedence", ())
+        ),
+    )
+
+    automaton = LALRAutomaton.__new__(LALRAutomaton)
+    automaton.grammar = grammar
+    automaton.lr0 = lr0
+    automaton.lookaheads = lookaheads
+    # Pre-seed the lazily built tables; ``analysis`` stays lazy.
+    automaton.__dict__["tables"] = tables
+    return automaton
+
+
+def dump_automaton(automaton: LALRAutomaton) -> str:
+    """Serialize the full automaton to deterministic JSON text."""
+    return json.dumps(
+        automaton_to_dict(automaton), sort_keys=True, separators=(",", ":")
+    )
+
+
+def load_automaton(text: str) -> LALRAutomaton:
+    """Inverse of :func:`dump_automaton`."""
+    return automaton_from_dict(json.loads(text))

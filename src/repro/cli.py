@@ -76,6 +76,41 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    perf = parser.add_argument_group("performance & profiling")
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect phase timings and counters (automaton build, search, "
+            "verification, ...) and print the profile after the summary"
+        ),
+    )
+    perf.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        help="write the collected profile as JSON to FILE ('-' for stdout)",
+    )
+    perf.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help=(
+            "explain conflicts in parallel over N worker processes "
+            "(0 = CPU count); reports are merged in conflict order, so "
+            "the output is identical to a serial run's"
+        ),
+    )
+    perf.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const="",
+        metavar="DIR",
+        help=(
+            "enable the content-addressed automaton cache; DIR defaults "
+            "to $REPRO_CACHE_DIR or ~/.cache/repro/automatons. Repeat "
+            "runs on an unchanged grammar skip LALR construction"
+        ),
+    )
     robust = parser.add_argument_group("resource governance")
     robust.add_argument(
         "--max-configurations",
@@ -227,8 +262,35 @@ def _run_lint(args: argparse.Namespace, grammar, source_path: str | None) -> int
     return 1 if report.should_fail(threshold) else 0
 
 
+def _emit_profile(args: argparse.Namespace, collector) -> None:
+    """Print / write the collected profile, if profiling was requested."""
+    if collector is None:
+        return
+    from repro.perf import metrics
+
+    metrics.disable()
+    if args.profile:
+        print(collector.render())
+    if args.profile_json:
+        document = json.dumps(collector.to_json(), indent=2, sort_keys=True)
+        if args.profile_json == "-":
+            print(document)
+        else:
+            try:
+                with open(args.profile_json, "w", encoding="utf-8") as handle:
+                    handle.write(document + "\n")
+            except OSError as error:
+                print(f"error: cannot write profile: {error}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    collector = None
+    if args.profile or args.profile_json:
+        from repro.perf import metrics
+
+        collector = metrics.enable()
 
     if args.fuzz is not None:
         return _run_fuzz(args)
@@ -267,7 +329,13 @@ def main(argv: list[str] | None = None) -> int:
 
         print(f"metrics: {GrammarMetrics.of(grammar).describe()}")
 
-    automaton = build_lalr(grammar)
+    if args.cache_dir is not None:
+        from repro.perf.cache import AutomatonCache, build_lalr_cached
+
+        cache = AutomatonCache(args.cache_dir or None)
+        automaton = build_lalr_cached(grammar, cache)
+    else:
+        automaton = build_lalr(grammar)
     if args.states:
         print(automaton)
 
@@ -284,10 +352,10 @@ def main(argv: list[str] | None = None) -> int:
             )
             if status is not None:
                 return status
+        _emit_profile(args, collector)
         return 0
 
-    finder = CounterexampleFinder(
-        automaton,
+    finder_kwargs = dict(
         time_limit=args.time_limit,
         cumulative_limit=args.cumulative_limit,
         extended_search=args.extendedsearch,
@@ -296,7 +364,12 @@ def main(argv: list[str] | None = None) -> int:
         retry_timed_out=args.retry_timed_out,
     )
     started = time.monotonic()
-    summary = finder.explain_all()
+    if args.jobs is not None and args.jobs != 1:
+        from repro.perf.parallel import explain_all_parallel
+
+        summary = explain_all_parallel(automaton, jobs=args.jobs, **finder_kwargs)
+    else:
+        summary = CounterexampleFinder(automaton, **finder_kwargs).explain_all()
     elapsed = time.monotonic() - started
 
     if not args.quiet:
@@ -319,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{summary.num_timeout} timed out{extras} ({elapsed:.2f}s)"
     )
 
+    _emit_profile(args, collector)
     if args.robust_report:
         # The robust contract: degradation is reported in-band, so the
         # exit code tracks report *completeness*, not conflict presence.

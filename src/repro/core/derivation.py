@@ -128,12 +128,26 @@ class Derivation:
     def __str__(self) -> str:
         return self.render()
 
+    def __reduce__(self) -> tuple:
+        # Rebuild through the constructor: the cached ``_hash`` embeds
+        # per-process-randomized string hashes and must be recomputed on
+        # the receiving side, and the :data:`DOT` sentinel is compared by
+        # identity so it must unpickle to the module singleton.
+        if self.symbol is None and self.children is None:
+            return (_restore_dot, ())
+        return (Derivation, (self.symbol, self.children, self.production))
+
 
 # Replace the dataclass-generated recursive hash with the cached one.
 Derivation.__hash__ = lambda self: self._hash  # type: ignore[method-assign, attr-defined]
 
 #: The conflict-point marker.
 DOT = Derivation(None)
+
+
+def _restore_dot() -> Derivation:
+    """Unpickling hook returning the :data:`DOT` singleton."""
+    return DOT
 
 
 def dleaf(symbol: Symbol) -> Derivation:

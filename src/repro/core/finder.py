@@ -49,6 +49,7 @@ from repro.core.nonunifying import NonunifyingBuilder
 from repro.core.search import SearchStats, UnifyingSearch
 from repro.grammar import Grammar
 from repro.parsing.earley import DerivationBudgetExceeded, EarleyParser
+from repro.perf import metrics
 from repro.robust.budget import Budget, CancellationToken
 from repro.robust.degrade import (
     DegradedExplanation,
@@ -125,6 +126,46 @@ class FinderSummary:
             report.counterexample is not None or report.stub is not None
             for report in self.reports
         )
+
+
+def aggregate_reports(
+    grammar_name: str,
+    reports: list[FinderReport],
+    retried: int = 0,
+    upgraded: int = 0,
+) -> FinderSummary:
+    """Fold per-conflict reports into the Table 1 summary.
+
+    Shared by the serial :meth:`CounterexampleFinder.explain_all` and the
+    parallel merge in :mod:`repro.perf.parallel`, so both paths count
+    rungs, degradations, and times identically.
+    """
+    summary = FinderSummary(grammar_name=grammar_name)
+    summary.num_retried = retried
+    summary.num_retry_upgraded = upgraded
+    for report in reports:
+        summary.reports.append(report)
+        summary.num_conflicts += 1
+        if report.degradations:
+            summary.num_degraded += 1
+            for degraded in report.degradations:
+                stage = degraded.stage.value
+                summary.degraded_by_stage[stage] = (
+                    summary.degraded_by_stage.get(stage, 0) + 1
+                )
+        if report.rung is Rung.UNIFYING:
+            summary.num_unifying += 1
+        elif report.rung is Rung.STUB:
+            summary.num_stub += 1
+        elif report.timed_out:
+            summary.num_timeout += 1
+        else:
+            summary.num_nonunifying += 1
+            if report.stats is None:
+                summary.num_skipped_search += 1
+        if not report.timed_out:
+            summary.total_time += report.unifying_time
+    return summary
 
 
 class CounterexampleFinder:
@@ -224,17 +265,22 @@ class CounterexampleFinder:
         (propagated so :meth:`explain_all` can finish the report with
         stubs) and ``KeyboardInterrupt``/``SystemExit``.
         """
+        with metrics.span("explain"):
+            return self._explain(conflict)
+
+    def _explain(self, conflict: Conflict) -> FinderReport:
         started = time.monotonic()
         degradations: list[DegradedExplanation] = []
 
         # Rung 0 prerequisite: the shortest lookahead-sensitive path.
         path: list[LASGEdge] | None = None
-        outcome = run_guarded(
-            Stage.LASG,
-            self.graph.shortest_path,
-            conflict,
-            budget=self._stage_budget("lasg"),
-        )
+        with metrics.span("lasg"):
+            outcome = run_guarded(
+                Stage.LASG,
+                self.graph.shortest_path,
+                conflict,
+                budget=self._stage_budget("lasg"),
+            )
         if outcome.ok:
             path = outcome.value
         else:
@@ -262,9 +308,10 @@ class CounterexampleFinder:
                 if result.counterexample is not None:
                     candidate = result.counterexample
                     if self.verify:
-                        verify_outcome = run_guarded(
-                            Stage.VERIFY, self._verify, candidate
-                        )
+                        with metrics.span("verify"):
+                            verify_outcome = run_guarded(
+                                Stage.VERIFY, self._verify, candidate
+                            )
                         if verify_outcome.ok:
                             verified = verify_outcome.value
                         else:
@@ -277,13 +324,14 @@ class CounterexampleFinder:
 
         # Rung 2: the nonunifying fallback.
         if counterexample is None and path is not None:
-            fallback = run_guarded(
-                Stage.NONUNIFYING,
-                self.nonunifying.build,
-                conflict,
-                path=path,
-                budget=self._stage_budget("nonunifying"),
-            )
+            with metrics.span("nonunifying"):
+                fallback = run_guarded(
+                    Stage.NONUNIFYING,
+                    self.nonunifying.build,
+                    conflict,
+                    path=path,
+                    budget=self._stage_budget("nonunifying"),
+                )
             if fallback.ok:
                 counterexample = fallback.value
                 if timed_out:
@@ -337,7 +385,8 @@ class CounterexampleFinder:
                 stage="search",
             ),
         )
-        outcome = run_guarded(Stage.SEARCH, search.run)
+        with metrics.span("search"):
+            outcome = run_guarded(Stage.SEARCH, search.run)
         return outcome.value, outcome.degraded
 
     def _stub(
@@ -375,32 +424,9 @@ class CounterexampleFinder:
         else:
             retried = upgraded = 0
 
-        summary = FinderSummary(grammar_name=self.grammar.name)
-        summary.num_retried = retried
-        summary.num_retry_upgraded = upgraded
-        for report in reports:
-            summary.reports.append(report)
-            summary.num_conflicts += 1
-            if report.degradations:
-                summary.num_degraded += 1
-                for degraded in report.degradations:
-                    stage = degraded.stage.value
-                    summary.degraded_by_stage[stage] = (
-                        summary.degraded_by_stage.get(stage, 0) + 1
-                    )
-            if report.rung is Rung.UNIFYING:
-                summary.num_unifying += 1
-            elif report.rung is Rung.STUB:
-                summary.num_stub += 1
-            elif report.timed_out:
-                summary.num_timeout += 1
-            else:
-                summary.num_nonunifying += 1
-                if report.stats is None:
-                    summary.num_skipped_search += 1
-            if not report.timed_out:
-                summary.total_time += report.unifying_time
-        return summary
+        return aggregate_reports(
+            self.grammar.name, reports, retried=retried, upgraded=upgraded
+        )
 
     def _cancelled_report(
         self, conflict: Conflict, error: Cancelled

@@ -40,6 +40,7 @@ from repro.core.configurations import (
 )
 from repro.core.counterexample import Counterexample
 from repro.grammar import Nonterminal
+from repro.perf import metrics
 from repro.robust.budget import Budget
 from repro.robust.errors import BudgetExhausted, SearchTimeout
 from repro.robust.faults import fire
@@ -158,6 +159,7 @@ class UnifyingSearch:
             accepted = self._accept(config)
             if accepted is not None:
                 stats.elapsed = time.monotonic() - started
+                self._record_stats(stats)
                 accepted = Counterexample(
                     conflict=accepted.conflict,
                     unifying=True,
@@ -182,7 +184,18 @@ class UnifyingSearch:
             stats.exhausted = True
 
         stats.elapsed = time.monotonic() - started
+        self._record_stats(stats)
         return SearchResult(None, stats)
+
+    @staticmethod
+    def _record_stats(stats: SearchStats) -> None:
+        """Mirror the run's totals into the metrics layer (when active)."""
+        if metrics.active() is None:
+            return
+        metrics.count("search.configurations.explored", stats.explored)
+        metrics.count("search.configurations.enqueued", stats.enqueued)
+        if stats.timed_out:
+            metrics.count("search.timeouts")
 
     # ------------------------------------------------------------------ #
 

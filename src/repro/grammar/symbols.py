@@ -59,6 +59,12 @@ class Symbol:
     def __eq__(self, other: object) -> bool:
         return self is other
 
+    def __reduce__(self) -> tuple:
+        # Interning means default pickling would break identity equality
+        # (and ``__slots__`` + immutable ``__setattr__`` break it outright);
+        # reconstruct through ``__new__`` so unpickling re-interns.
+        return (type(self), (self.name,))
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
 

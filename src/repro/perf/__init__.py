@@ -1,0 +1,39 @@
+"""Performance layer: tracing/metrics, the automaton cache, parallel
+explanation, and the benchmark-regression runner.
+
+Submodules (imported on demand — only :mod:`repro.perf.metrics` is
+re-exported here, because the instrumented packages import it during
+their own module initialisation and the heavier submodules import *them*
+back):
+
+* :mod:`repro.perf.metrics` — phase spans and counters with a near-zero
+  disabled mode; the instrumentation layer everything else reads.
+* :mod:`repro.perf.cache` — content-addressed (grammar-hash keyed)
+  automaton cache so repeated runs skip LALR reconstruction.
+* :mod:`repro.perf.parallel` — opt-in process-pool per-conflict
+  explanation with a deterministic merge (the CLI's ``--jobs``).
+* :mod:`repro.perf.bench` — the deterministic benchmark runner behind
+  ``python -m repro.perf.bench`` and the CI regression gate.
+
+See ``docs/PERFORMANCE.md`` for the user-facing guide.
+"""
+
+from repro.perf.metrics import (
+    MetricsCollector,
+    active,
+    collecting,
+    count,
+    disable,
+    enable,
+    span,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "active",
+    "collecting",
+    "count",
+    "disable",
+    "enable",
+    "span",
+]

@@ -1,0 +1,263 @@
+"""Lightweight tracing/metrics for the explanation pipeline's hot paths.
+
+The paper's headline result is about *speed* (§7, Table 1), so the
+pipeline needs a way to answer "where did the time go" without paying for
+the answer when nobody asks. This module provides:
+
+* **phase spans** — named, nestable wall-clock regions recorded against a
+  monotonic clock (``time.perf_counter``). Nested spans aggregate under a
+  slash-joined path (``automaton/lookaheads``), one ``(count, total)``
+  cell per path;
+* **counters** — named monotone tallies (states built, configurations
+  expanded, cache hits);
+* a **disabled mode with near-zero overhead**: when no collector is
+  active, :func:`span` returns a shared no-op context manager and
+  :func:`count` is a single global load and a ``None`` check. Hot loops
+  therefore never guard their instrumentation; they just call it.
+
+Collection is opt-in and process-local: the CLI's ``--profile`` /
+``--profile-json`` flags and the benchmark runner
+(:mod:`repro.perf.bench`) activate a collector around one run and read it
+back out. Collectors are plain data — they can be serialized
+(:meth:`MetricsCollector.to_json`), reloaded, and merged
+(:meth:`MetricsCollector.merge`), which is how parallel workers'
+measurements could be folded into a parent report.
+
+The module is deliberately dependency-free (it imports nothing from the
+rest of ``repro``), so any layer — ``repro.automaton``, ``repro.core``,
+``repro.parsing`` — may import it without creating cycles.
+
+Not thread-safe: the active collector is a module global and span stacks
+assume one thread. Parallel explanation uses *processes* (each with its
+own module state), so this is not a practical restriction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+SCHEMA = "repro.perf.metrics/1"
+
+Clock = Callable[[], float]
+
+
+class _NullSpan:
+    """The shared no-op span returned while collection is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: pushes its name on enter, aggregates on exit."""
+
+    __slots__ = ("_collector", "_name", "_started")
+
+    def __init__(self, collector: "MetricsCollector", name: str) -> None:
+        self._collector = collector
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._collector._stack.append(self._name)
+        self._started = self._collector._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        collector = self._collector
+        elapsed = collector._clock() - self._started
+        path = "/".join(collector._stack)
+        collector._stack.pop()
+        cell = collector.spans.get(path)
+        if cell is None:
+            collector.spans[path] = [1, elapsed]
+        else:
+            cell[0] += 1
+            cell[1] += elapsed
+
+
+class MetricsCollector:
+    """Aggregated spans and counters for one profiled run.
+
+    Attributes:
+        spans: ``path -> [count, total_seconds]``; the path is the
+            slash-joined stack of active span names at exit time.
+        counters: ``name -> tally``.
+    """
+
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
+        self._clock = clock
+        self.spans: dict[str, list] = {}
+        self.counters: dict[str, int] = {}
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one region under *name*."""
+        return _Span(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name*."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------ #
+    # Reading
+
+    def span_total(self, path: str) -> float:
+        """Total seconds recorded under *path* (0.0 when never entered)."""
+        cell = self.spans.get(path)
+        return cell[1] if cell is not None else 0.0
+
+    def span_count(self, path: str) -> int:
+        cell = self.spans.get(path)
+        return cell[0] if cell is not None else 0
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold *other*'s spans and counters into this collector."""
+        for path, (count, total) in other.spans.items():
+            cell = self.spans.get(path)
+            if cell is None:
+                self.spans[path] = [count, total]
+            else:
+                cell[0] += count
+                cell[1] += total
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot (schema-versioned)."""
+        return {
+            "schema": SCHEMA,
+            "spans": {
+                path: {"count": count, "total_s": total}
+                for path, (count, total) in sorted(self.spans.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "MetricsCollector":
+        """Inverse of :meth:`to_json`."""
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported metrics schema {data.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        collector = cls()
+        for path, cell in data.get("spans", {}).items():
+            collector.spans[path] = [int(cell["count"]), float(cell["total_s"])]
+        for name, value in data.get("counters", {}).items():
+            collector.counters[name] = int(value)
+        return collector
+
+    def render(self) -> str:
+        """A human-readable profile: spans as an indented tree, counters."""
+        lines = ["phase spans (count, total):"]
+        if not self.spans:
+            lines.append("  (none recorded)")
+        for path in sorted(self.spans):
+            count, total = self.spans[path]
+            depth = path.count("/")
+            name = path.rsplit("/", 1)[-1]
+            lines.append(f"  {'  ' * depth}{name:<24} {count:>7}x {total:>9.4f}s")
+        lines.append("counters:")
+        if not self.counters:
+            lines.append("  (none recorded)")
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<32} {self.counters[name]:>12}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# The module-level switchboard the instrumented code talks to.
+
+_active: MetricsCollector | None = None
+
+
+def enable(collector: MetricsCollector | None = None) -> MetricsCollector:
+    """Activate *collector* (or a fresh one); returns the active collector."""
+    global _active
+    _active = collector if collector is not None else MetricsCollector()
+    return _active
+
+
+def disable() -> MetricsCollector | None:
+    """Deactivate collection; returns the collector that was active."""
+    global _active
+    collector, _active = _active, None
+    return collector
+
+
+def active() -> MetricsCollector | None:
+    """The currently active collector, or ``None``."""
+    return _active
+
+
+def span(name: str):
+    """A span on the active collector, or the shared no-op when disabled."""
+    collector = _active
+    if collector is None:
+        return _NULL_SPAN
+    return collector.span(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the active collector; no-op when disabled."""
+    collector = _active
+    if collector is not None:
+        collector.counters[name] = collector.counters.get(name, 0) + n
+
+
+class collecting:
+    """Context manager: activate a collector for a region, then restore.
+
+    Usage::
+
+        with collecting() as collector:
+            ...instrumented work...
+        print(collector.render())
+
+    Nesting is supported — the previously active collector (if any) is
+    restored on exit, so a profiled sub-region inside a profiled run does
+    not silently steal the outer run's measurements.
+    """
+
+    def __init__(self, collector: MetricsCollector | None = None) -> None:
+        self._collector = collector if collector is not None else MetricsCollector()
+        self._previous: MetricsCollector | None = None
+
+    def __enter__(self) -> MetricsCollector:
+        global _active
+        self._previous = _active
+        _active = self._collector
+        return self._collector
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _active
+        _active = self._previous
+
+
+__all__ = [
+    "MetricsCollector",
+    "SCHEMA",
+    "active",
+    "collecting",
+    "count",
+    "disable",
+    "enable",
+    "span",
+]

@@ -1,0 +1,159 @@
+"""Opt-in parallel per-conflict explanation (process pool).
+
+Conflicts are embarrassingly parallel: each explanation touches the
+automaton read-only and produces an independent
+:class:`~repro.core.finder.FinderReport`. This module fans the conflict
+list of one grammar out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges the results **in conflict order**, so the output is
+deterministic and — because formatted reports carry no timing — byte-
+identical to a serial run's.
+
+Design notes:
+
+* Workers receive the automaton as the serialized full-automaton payload
+  (:func:`repro.automaton.serialize.dump_automaton`) through the pool
+  initializer, decoded once per worker — not per task, and never through
+  pickling the live object graph.
+* Tasks are conflict *indices* (tiny); only the finished report crosses
+  the process boundary coming back. :class:`~repro.grammar.Symbol` and
+  :class:`~repro.core.derivation.Derivation` define ``__reduce__`` so
+  interning, cached hashes, and the ``DOT`` sentinel survive the trip.
+* The per-grammar *cumulative* search budget applies **per worker**: a
+  run with ``jobs=N`` may spend up to ``N x cumulative_limit`` of search
+  time in the worst case. This errs on the side of finding more unifying
+  counterexamples; serial-equivalent accounting would need a shared
+  clock across processes for no user-visible benefit.
+* The budget-escalating retry pass (``retry_timed_out``) runs in the
+  *parent* over the merged report list, reusing the serial finder's
+  retry logic verbatim.
+* When profiling is active in the parent, each task also ships back its
+  worker-side metrics delta, which the parent merges — span totals and
+  counters therefore aggregate CPU time across workers (wall-clock
+  speedup shows up as ``explain`` span total exceeding elapsed time).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.automaton.lalr import LALRAutomaton, build_lalr
+from repro.core.finder import (
+    CounterexampleFinder,
+    FinderReport,
+    FinderSummary,
+    aggregate_reports,
+)
+from repro.grammar import Grammar
+from repro.perf import metrics
+
+# Per-process worker state, populated by the pool initializer.
+_WORKER_FINDER: CounterexampleFinder | None = None
+_WORKER_COLLECT: bool = False
+
+
+def _init_worker(
+    payload: str, finder_kwargs: dict[str, Any], collect: bool
+) -> None:
+    """Pool initializer: decode the automaton, build this worker's finder."""
+    global _WORKER_FINDER, _WORKER_COLLECT
+    from repro.automaton.serialize import load_automaton
+
+    automaton = load_automaton(payload)
+    _WORKER_FINDER = CounterexampleFinder(automaton, **finder_kwargs)
+    _WORKER_COLLECT = collect
+
+
+def _explain_index(index: int) -> tuple[FinderReport, dict[str, Any] | None]:
+    """Explain conflict *index*; returns the report and a metrics delta."""
+    assert _WORKER_FINDER is not None, "worker initializer did not run"
+    conflict = _WORKER_FINDER.conflicts[index]
+    if _WORKER_COLLECT:
+        with metrics.collecting() as collector:
+            report = _WORKER_FINDER.explain(conflict)
+        return report, collector.to_json()
+    return _WORKER_FINDER.explain(conflict), None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means the CPU count."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    return jobs
+
+
+def explain_all_parallel(
+    source: Grammar | LALRAutomaton,
+    jobs: int | None = None,
+    **finder_kwargs: Any,
+) -> FinderSummary:
+    """Parallel drop-in for :meth:`CounterexampleFinder.explain_all`.
+
+    Args:
+        source: A grammar or a prebuilt automaton.
+        jobs: Worker process count; ``None``/``0`` uses the CPU count,
+            ``1`` falls back to the serial finder in-process (no pool).
+        **finder_kwargs: Forwarded to :class:`CounterexampleFinder` in
+            every worker (``time_limit``, ``verify``, ...). The
+            ``token`` cancellation hook is parent-side only and not
+            supported here; ``retry_timed_out`` runs in the parent.
+
+    Returns:
+        A :class:`FinderSummary` whose ``reports`` are in conflict order,
+        aggregated by the same :func:`aggregate_reports` as the serial
+        path.
+    """
+    if "token" in finder_kwargs and finder_kwargs["token"] is not None:
+        raise ValueError(
+            "cooperative cancellation tokens do not cross process "
+            "boundaries; use the serial finder for cancellable runs"
+        )
+    finder_kwargs.pop("token", None)
+    jobs = resolve_jobs(jobs)
+    retry = bool(finder_kwargs.pop("retry_timed_out", False))
+
+    automaton = source if isinstance(source, LALRAutomaton) else build_lalr(source)
+    conflicts = automaton.conflicts
+    if jobs == 1 or len(conflicts) <= 1:
+        return CounterexampleFinder(
+            automaton, retry_timed_out=retry, **finder_kwargs
+        ).explain_all()
+
+    from repro.automaton.serialize import dump_automaton
+
+    with metrics.span("parallel/encode"):
+        payload = dump_automaton(automaton)
+    collector = metrics.active()
+
+    reports: list[FinderReport] = []
+    with metrics.span("parallel/pool"):
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(conflicts)),
+            initializer=_init_worker,
+            initargs=(payload, finder_kwargs, collector is not None),
+        ) as pool:
+            # ``map`` preserves submission order: reports come back in
+            # conflict order no matter which worker finishes first.
+            for report, delta in pool.map(_explain_index, range(len(conflicts))):
+                reports.append(report)
+                if collector is not None and delta is not None:
+                    collector.merge(metrics.MetricsCollector.from_json(delta))
+    metrics.count("parallel.tasks", len(reports))
+
+    retried = upgraded = 0
+    if retry:
+        # Parent-side retry pass, sharing the serial finder's logic. The
+        # parent finder starts with the budget already spent by workers
+        # (their per-report search times), mirroring serial accounting.
+        parent = CounterexampleFinder(automaton, **finder_kwargs)
+        parent._unifying_budget_spent = sum(
+            report.stats.elapsed for report in reports if report.stats is not None
+        )
+        retried, upgraded = parent._retry_pass(reports)
+
+    return aggregate_reports(
+        automaton.grammar.name, reports, retried=retried, upgraded=upgraded
+    )

@@ -180,6 +180,10 @@ class FuzzHarness:
             blow-ups are recorded as skips either way.
         verify_step_budget: Earley step cap shared by the finder's
             verification pass and the validator's ambiguity recount.
+        automaton_cache: Optional
+            :class:`~repro.perf.cache.AutomatonCache`; when given,
+            automaton construction goes through the content-addressed
+            cache (repeat grammars decode instead of rebuilding).
     """
 
     def __init__(
@@ -196,6 +200,7 @@ class FuzzHarness:
         max_lr1_states: int = 2_000,
         glr_max_configurations: int = 300,
         verify_step_budget: int = 50_000,
+        automaton_cache=None,
     ) -> None:
         self.fuzzer = GrammarFuzzer(config)
         self.time_limit = time_limit
@@ -209,6 +214,11 @@ class FuzzHarness:
         self.max_lr1_states = max_lr1_states
         self.glr_max_configurations = glr_max_configurations
         self.verify_step_budget = verify_step_budget
+        #: Optional :class:`repro.perf.cache.AutomatonCache`. Fuzz
+        #: campaigns re-examine structurally identical grammars often
+        #: (shrinking, duplicate seeds); the content-addressed cache
+        #: makes those re-examinations skip LALR construction.
+        self.automaton_cache = automaton_cache
 
     # ------------------------------------------------------------------ #
 
@@ -288,7 +298,12 @@ class FuzzHarness:
     def _examine(self, grammar: Grammar, seed: int) -> _Examination:
         result = _Examination()
         try:
-            automaton = build_lalr(grammar)
+            if self.automaton_cache is not None:
+                from repro.perf.cache import build_lalr_cached
+
+                automaton = build_lalr_cached(grammar, self.automaton_cache)
+            else:
+                automaton = build_lalr(grammar)
         except Exception as error:  # noqa: BLE001
             result.problems.append(
                 (FailureKind.CRASH, f"automaton construction raised {error!r}")

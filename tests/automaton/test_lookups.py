@@ -117,3 +117,75 @@ class TestReachability:
                     for production in auto.grammar.productions_of(symbol):
                         successors.add((state_id, Item(production, 0)))
             assert successors & set(pairs), f"stranded pair ({state_id}, {item})"
+
+
+class TestReachingCache:
+    """The bounded LRU policy on memoised ``reaching_pairs`` results."""
+
+    def test_rejects_nonpositive_bound(self, auto):
+        from repro.automaton.lookups import ReverseLookups
+
+        with pytest.raises(ValueError):
+            ReverseLookups(auto, max_cache_entries=0)
+
+    def test_hit_and_miss_counters(self, auto):
+        lookups = auto.lookups
+        conflict = auto.conflicts[0]
+        state = auto.states[conflict.state_id]
+        before = lookups.cache_info()
+        lookups.reaching_pairs(state, conflict.reduce_item)
+        lookups.reaching_pairs(state, conflict.reduce_item)
+        info = lookups.cache_info()
+        assert info["misses"] >= before["misses"] + 1
+        assert info["hits"] >= before["hits"] + 1
+        assert info["max_entries"] == 128
+
+    def test_eviction_keeps_the_cache_bounded(self, auto):
+        from repro.automaton.lookups import ReverseLookups
+
+        lookups = ReverseLookups(auto, max_cache_entries=2)
+        queried = 0
+        for state in auto.states:
+            for item in state.items:
+                lookups.reaching_pairs(state, item)
+                queried += 1
+                assert lookups.cache_info()["entries"] <= 2
+        info = lookups.cache_info()
+        assert queried > 2
+        assert info["evictions"] == info["misses"] - info["entries"]
+
+    def test_lru_order_recency_not_insertion(self, auto):
+        from repro.automaton.lookups import ReverseLookups
+
+        lookups = ReverseLookups(auto, max_cache_entries=2)
+        state = auto.states[0]
+        a, b = state.items[0], state.items[1]
+        lookups.reaching_pairs(state, a)
+        lookups.reaching_pairs(state, b)
+        lookups.reaching_pairs(state, a)  # refresh a: b is now oldest
+        other = auto.states[1]
+        lookups.reaching_pairs(other, other.items[0])  # evicts b
+        hits = lookups.cache_info()["hits"]
+        lookups.reaching_pairs(state, a)
+        assert lookups.cache_info()["hits"] == hits + 1
+
+    def test_clear_drops_entries_but_keeps_counters(self, auto):
+        lookups = auto.lookups
+        conflict = auto.conflicts[0]
+        state = auto.states[conflict.state_id]
+        lookups.reaching_pairs(state, conflict.reduce_item)
+        misses = lookups.cache_info()["misses"]
+        lookups.clear_reaching_cache()
+        info = lookups.cache_info()
+        assert info["entries"] == 0
+        assert info["misses"] == misses
+
+    def test_metrics_counters_mirrored(self, auto):
+        from repro.perf import metrics
+
+        conflict = auto.conflicts[0]
+        state = auto.states[conflict.state_id]
+        with metrics.collecting() as collector:
+            auto.lookups.reaching_pairs(state, conflict.reduce_item)
+            auto.lookups.reaching_pairs(state, conflict.reduce_item)
+        assert collector.counters.get("lookups.reaching.hit", 0) >= 1

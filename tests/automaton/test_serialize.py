@@ -80,3 +80,84 @@ class TestSafety:
     def test_json_stability(self, expr_grammar):
         automaton = build_lalr(expr_grammar)
         assert dump_tables(automaton) == dump_tables(automaton)
+
+
+class TestFullAutomatonFormat:
+    """Round-trips of the full-automaton format behind repro.perf.cache."""
+
+    def _round_trip(self, grammar):
+        from repro.automaton.serialize import dump_automaton, load_automaton
+
+        automaton = build_lalr(grammar)
+        _ = automaton.tables
+        return automaton, load_automaton(dump_automaton(automaton))
+
+    def test_states_and_transitions_identical(self, figure1):
+        original, loaded = self._round_trip(figure1)
+        assert len(loaded.states) == len(original.states)
+        for a, b in zip(original.states, loaded.states):
+            assert a.items == b.items
+            assert a.kernel == b.kernel
+            assert {str(s): t.id for s, t in a.transitions.items()} == {
+                str(s): t.id for s, t in b.transitions.items()
+            }
+
+    def test_lookaheads_identical(self, figure1):
+        original, loaded = self._round_trip(figure1)
+        assert loaded.lookaheads == original.lookaheads
+
+    def test_tables_and_conflicts_identical(self, figure1):
+        original, loaded = self._round_trip(figure1)
+        assert loaded.tables.action == original.tables.action
+        assert loaded.tables.goto == original.tables.goto
+        assert [str(c) for c in loaded.conflicts] == [
+            str(c) for c in original.conflicts
+        ]
+
+    def test_predecessors_rebuilt(self, figure1):
+        original, loaded = self._round_trip(figure1)
+        for state in original.states:
+            for symbol, preds in original.lr0.predecessors[state.id].items():
+                rebuilt = loaded.lr0.predecessors_on(loaded.states[state.id], symbol)
+                assert {p.id for p in preds} == {p.id for p in rebuilt}
+
+    def test_dump_is_deterministic_and_idempotent(self, figure1):
+        from repro.automaton.serialize import dump_automaton, load_automaton
+
+        automaton = build_lalr(figure1)
+        text = dump_automaton(automaton)
+        assert dump_automaton(automaton) == text
+        assert dump_automaton(load_automaton(text)) == text
+
+    def test_precedence_metadata_preserved(self):
+        from repro.automaton.serialize import dump_automaton, load_automaton
+        from repro.grammar import load_grammar
+
+        grammar = load_grammar("%left '+'\ne : e '+' e | ID ;")
+        automaton = build_lalr(grammar)
+        loaded = load_automaton(dump_automaton(automaton))
+        assert loaded.tables.resolved_count == automaton.tables.resolved_count
+        assert loaded.tables.used_precedence == automaton.tables.used_precedence
+        assert loaded.conflicts == automaton.conflicts == []
+
+    def test_version_check(self, expr_grammar):
+        from repro.automaton.serialize import (
+            automaton_from_dict,
+            automaton_to_dict,
+        )
+
+        payload = automaton_to_dict(build_lalr(expr_grammar))
+        payload["full_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            automaton_from_dict(payload)
+
+    def test_loaded_automaton_drives_the_finder(self, figure1):
+        from repro.core import CounterexampleFinder
+        from repro.core.report import safe_format_report
+
+        original, loaded = self._round_trip(figure1)
+        fresh = CounterexampleFinder(original).explain_all()
+        decoded = CounterexampleFinder(loaded).explain_all()
+        assert [safe_format_report(r) for r in fresh.reports] == [
+            safe_format_report(r) for r in decoded.reports
+        ]

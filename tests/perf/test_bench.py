@@ -1,0 +1,137 @@
+"""Tests for the benchmark runner and the regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    FAST_GRAMMARS,
+    SCHEMA,
+    compare_reports,
+    main,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # Two small grammars, one repeat: seconds, not minutes.
+    return run_suite(["figure7", "abcd"], repeats=1, time_limit=0.5)
+
+
+class TestRunSuite:
+    def test_schema_and_shape(self, tiny_report):
+        assert tiny_report["schema"] == SCHEMA
+        assert tiny_report["repeats"] == 1
+        assert tiny_report["calibration_s"] > 0
+        assert set(tiny_report["grammars"]) == {"figure7", "abcd"}
+        entry = tiny_report["grammars"]["figure7"]
+        assert entry["conflicts"] == 2
+        assert entry["total_s"] > 0
+        assert "automaton" in entry["phases"]
+        assert "explain" in entry["phases"]
+        assert entry["counters"]["automaton.states"] > 0
+
+    def test_json_round_trip(self, tiny_report):
+        clone = json.loads(json.dumps(tiny_report))
+        assert clone == tiny_report
+
+    def test_fast_grammar_set_resolves(self):
+        from repro.corpus import registry
+
+        known = {spec.name for spec in registry.all_specs()}
+        assert set(FAST_GRAMMARS) <= known
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, tiny_report):
+        failures, lines = compare_reports(tiny_report, tiny_report)
+        assert failures == []
+        assert any("figure7" in line for line in lines)
+
+    def test_injected_regression_fails(self, tiny_report):
+        slower = copy.deepcopy(tiny_report)
+        entry = slower["grammars"]["figure7"]
+        entry["total_s"] = tiny_report["grammars"]["figure7"]["total_s"] * 10 + 1.0
+        failures, _ = compare_reports(tiny_report, slower)
+        assert any("figure7/total" in failure for failure in failures)
+
+    def test_small_absolute_regressions_tolerated(self, tiny_report):
+        # A 10x ratio on a microsecond phase is noise, not a regression.
+        slower = copy.deepcopy(tiny_report)
+        for entry in slower["grammars"].values():
+            entry["phases"] = {
+                phase: value * 10 for phase, value in entry["phases"].items()
+            }
+        failures, _ = compare_reports(
+            tiny_report, slower, threshold=2.0, min_delta=1e9
+        )
+        assert failures == []
+
+    def test_calibration_normalisation(self, tiny_report):
+        # Same timings on a machine measured 2x slower: normalised to
+        # half, so nothing regresses.
+        slower_machine = copy.deepcopy(tiny_report)
+        slower_machine["calibration_s"] = tiny_report["calibration_s"] * 2
+        failures, _ = compare_reports(tiny_report, slower_machine)
+        assert failures == []
+
+    def test_schema_mismatch_rejected(self, tiny_report):
+        with pytest.raises(ValueError):
+            compare_reports({"schema": "other/1"}, tiny_report)
+
+    def test_missing_grammar_is_informational(self, tiny_report):
+        current = copy.deepcopy(tiny_report)
+        del current["grammars"]["abcd"]
+        failures, lines = compare_reports(tiny_report, current)
+        assert failures == []
+        assert any("missing" in line for line in lines)
+
+
+class TestCli:
+    def test_run_and_compare_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--out",
+                    str(out),
+                    "--repeats",
+                    "1",
+                    "--time-limit",
+                    "0.5",
+                    "--grammars",
+                    "figure7",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(out.read_text())
+        assert report["schema"] == SCHEMA
+        assert main(["compare", str(out), str(out)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_exit_code_on_regression(self, tmp_path):
+        out = tmp_path / "base.json"
+        main(
+            [
+                "run",
+                "--out",
+                str(out),
+                "--repeats",
+                "1",
+                "--time-limit",
+                "0.5",
+                "--grammars",
+                "figure7",
+            ]
+        )
+        report = json.loads(out.read_text())
+        report["grammars"]["figure7"]["total_s"] = (
+            report["grammars"]["figure7"]["total_s"] * 100 + 1.0
+        )
+        inflated = tmp_path / "inflated.json"
+        inflated.write_text(json.dumps(report))
+        assert main(["compare", str(out), str(inflated)]) == 1

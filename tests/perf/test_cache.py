@@ -1,0 +1,125 @@
+"""Tests for the content-addressed automaton cache."""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.grammar import load_grammar
+from repro.perf import metrics
+from repro.perf.cache import (
+    AutomatonCache,
+    build_lalr_cached,
+    default_cache_dir,
+    grammar_fingerprint,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AutomatonCache(tmp_path)
+
+
+class TestFingerprint:
+    def test_stable_across_equivalent_loads(self, figure1):
+        from repro.grammar.emit import dump_grammar
+
+        reloaded = load_grammar(dump_grammar(figure1), name="renamed")
+        assert grammar_fingerprint(reloaded) == grammar_fingerprint(figure1)
+
+    def test_name_does_not_affect_the_key(self, figure1):
+        # Same productions under a different diagnostic name: same key.
+        from repro.grammar.emit import dump_grammar
+
+        other = load_grammar(dump_grammar(figure1), name="something-else")
+        assert grammar_fingerprint(other) == grammar_fingerprint(figure1)
+
+    def test_grammar_edit_changes_the_key(self):
+        base = load_grammar("e : e '+' e | ID ;")
+        edited = load_grammar("e : e '+' e | e '*' e | ID ;")
+        assert grammar_fingerprint(base) != grammar_fingerprint(edited)
+
+    def test_precedence_changes_the_key(self):
+        base = load_grammar("e : e '+' e | ID ;")
+        prec = load_grammar("%left '+'\ne : e '+' e | ID ;")
+        assert grammar_fingerprint(base) != grammar_fingerprint(prec)
+
+
+class TestCache:
+    def test_miss_then_hit(self, cache, figure1):
+        first = build_lalr_cached(figure1, cache)
+        assert cache.info() == {"entries": 1, "hits": 0, "misses": 1}
+        second = build_lalr_cached(figure1, cache)
+        assert cache.hits == 1
+        assert len(second.states) == len(first.states)
+        assert second.grammar is figure1  # caller's instance swapped in
+
+    def test_cached_automaton_is_equivalent(self, cache, figure1):
+        built = build_lalr_cached(figure1, cache)
+        loaded = build_lalr_cached(figure1, cache)
+        assert loaded.lookaheads == built.lookaheads
+        assert [str(c) for c in loaded.conflicts] == [
+            str(c) for c in built.conflicts
+        ]
+        assert loaded.tables.action == built.tables.action
+        assert loaded.tables.goto == built.tables.goto
+
+    def test_grammar_edit_forces_rebuild(self, cache):
+        base = load_grammar("e : e '+' e | ID ;")
+        edited = load_grammar("e : e '+' e | e '*' e | ID ;")
+        build_lalr_cached(base, cache)
+        build_lalr_cached(edited, cache)
+        assert cache.misses == 2
+        assert cache.info()["entries"] == 2
+
+    def test_corrupt_entry_is_a_miss_and_gets_rebuilt(self, cache, figure1):
+        build_lalr_cached(figure1, cache)
+        entry = next(cache.directory.glob("*.json"))
+        entry.write_text("{definitely not an automaton")
+        rebuilt = build_lalr_cached(figure1, cache)
+        assert cache.misses == 2
+        assert len(rebuilt.states) > 0
+        # ...and the overwrite repaired the entry.
+        assert cache.get(figure1) is not None
+
+    def test_truncated_entry_is_a_miss(self, cache, figure1):
+        build_lalr_cached(figure1, cache)
+        entry = next(cache.directory.glob("*.json"))
+        entry.write_text(entry.read_text()[:50])
+        assert cache.get(figure1) is None
+
+    def test_clear_removes_entries(self, cache, figure1):
+        build_lalr_cached(figure1, cache)
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_none_cache_is_a_passthrough(self, figure1):
+        automaton = build_lalr_cached(figure1, None)
+        assert len(automaton.states) == len(build_lalr(figure1).states)
+
+    def test_metrics_counters(self, cache, figure1):
+        with metrics.collecting() as collector:
+            build_lalr_cached(figure1, cache)
+            build_lalr_cached(figure1, cache)
+        assert collector.counters["cache.miss"] == 1
+        assert collector.counters["cache.hit"] == 1
+
+    def test_cached_automaton_explains_identically(self, cache, figure1):
+        from repro.core import CounterexampleFinder
+        from repro.core.report import safe_format_report
+
+        build_lalr_cached(figure1, cache)  # populate
+        loaded = build_lalr_cached(figure1, cache)
+        fresh = CounterexampleFinder(build_lalr(figure1)).explain_all()
+        cached = CounterexampleFinder(loaded).explain_all()
+        assert [safe_format_report(r) for r in fresh.reports] == [
+            safe_format_report(r) for r in cached.reports
+        ]
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_fallback_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "automatons"

@@ -1,0 +1,157 @@
+"""Tests for the tracing/metrics layer."""
+
+import time
+
+import pytest
+
+from repro.perf import metrics
+from repro.perf.metrics import SCHEMA, MetricsCollector
+
+
+class TestSpans:
+    def test_nested_spans_aggregate_under_slash_paths(self):
+        collector = MetricsCollector()
+        with collector.span("outer"):
+            with collector.span("inner"):
+                pass
+            with collector.span("inner"):
+                pass
+        assert collector.span_count("outer") == 1
+        assert collector.span_count("outer/inner") == 2
+        assert collector.span_total("outer/inner") >= 0.0
+        # The inner path only exists nested; no bare "inner" root.
+        assert collector.span_count("inner") == 0
+
+    def test_sibling_spans_do_not_nest(self):
+        collector = MetricsCollector()
+        with collector.span("a"):
+            pass
+        with collector.span("b"):
+            pass
+        assert collector.span_count("a") == 1
+        assert collector.span_count("b") == 1
+        assert collector.span_count("a/b") == 0
+
+    def test_span_reentry_after_exception(self):
+        collector = MetricsCollector()
+        with pytest.raises(RuntimeError):
+            with collector.span("outer"):
+                raise RuntimeError("boom")
+        # The stack unwound: a new span is a root again, not outer/next.
+        with collector.span("next"):
+            pass
+        assert collector.span_count("next") == 1
+
+    def test_counters(self):
+        collector = MetricsCollector()
+        collector.count("things")
+        collector.count("things", 4)
+        assert collector.counters["things"] == 5
+
+
+class TestModuleState:
+    def test_disabled_by_default_and_null_span_is_shared(self):
+        assert metrics.active() is None
+        span = metrics.span("anything")
+        assert span is metrics.span("other")  # the shared null span
+        with span:
+            pass  # no-op
+        metrics.count("anything")  # swallowed
+
+    def test_enable_disable_round_trip(self):
+        collector = metrics.enable()
+        try:
+            assert metrics.active() is collector
+            with metrics.span("phase"):
+                metrics.count("hits")
+            assert collector.span_count("phase") == 1
+            assert collector.counters["hits"] == 1
+        finally:
+            assert metrics.disable() is collector
+        assert metrics.active() is None
+
+    def test_collecting_restores_previous_collector(self):
+        outer = metrics.enable()
+        try:
+            with metrics.collecting() as inner:
+                metrics.count("seen")
+            assert metrics.active() is outer
+            assert inner.counters["seen"] == 1
+            assert "seen" not in outer.counters
+        finally:
+            metrics.disable()
+
+    def test_disabled_overhead_is_negligible(self):
+        # The null span must stay cheap enough for per-conflict hot
+        # paths: 50k disabled spans well under 200ms even on slow CI.
+        start = time.perf_counter()
+        for _ in range(50_000):
+            with metrics.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.2
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        collector = MetricsCollector()
+        with collector.span("a"):
+            with collector.span("b"):
+                pass
+        collector.count("n", 7)
+        data = collector.to_json()
+        assert data["schema"] == SCHEMA
+        restored = MetricsCollector.from_json(data)
+        assert restored.span_count("a/b") == 1
+        assert restored.counters["n"] == 7
+        assert restored.to_json() == data
+
+    def test_from_json_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            MetricsCollector.from_json({"schema": "bogus/9"})
+
+    def test_merge_sums_spans_and_counters(self):
+        left = MetricsCollector()
+        right = MetricsCollector()
+        for collector in (left, right):
+            with collector.span("phase"):
+                pass
+            collector.count("n", 2)
+        left.merge(right)
+        assert left.span_count("phase") == 2
+        assert left.counters["n"] == 4
+
+    def test_render_mentions_spans_and_counters(self):
+        collector = MetricsCollector()
+        with collector.span("automaton"):
+            pass
+        collector.count("automaton.states", 3)
+        text = collector.render()
+        assert "automaton" in text
+        assert "automaton.states" in text
+
+
+class TestInstrumentation:
+    def test_automaton_build_emits_expected_phases(self, figure1):
+        from repro.automaton import build_lalr
+
+        with metrics.collecting() as collector:
+            automaton = build_lalr(figure1)
+            _ = automaton.tables
+        assert collector.span_count("automaton") == 1
+        assert collector.span_count("automaton/lr0") == 1
+        assert collector.span_count("automaton/lookaheads") == 1
+        assert collector.span_count("tables") == 1
+        assert collector.counters["automaton.states"] == len(automaton.states)
+        assert collector.counters["automaton.conflicts"] == len(
+            automaton.conflicts
+        )
+
+    def test_finder_emits_explain_spans_and_search_counters(self, figure1):
+        from repro.core import CounterexampleFinder
+
+        with metrics.collecting() as collector:
+            summary = CounterexampleFinder(figure1).explain_all()
+        assert collector.span_count("explain") == summary.num_conflicts
+        assert collector.span_count("explain/search") >= 1
+        assert collector.counters["search.configurations.explored"] > 0
