@@ -21,7 +21,7 @@ class Item:
     grammar, where production indices are unique.
     """
 
-    __slots__ = ("production", "dot", "_hash")
+    __slots__ = ("production", "dot", "_hash", "_advanced", "_retreated")
 
     def __init__(self, production: Production, dot: int) -> None:
         if not 0 <= dot <= len(production.rhs):
@@ -29,6 +29,8 @@ class Item:
         self.production = production
         self.dot = dot
         self._hash = hash((production.index, dot))
+        self._advanced: "Item | None" = None
+        self._retreated: "Item | None" = None
 
     def __hash__(self) -> int:
         return self._hash
@@ -75,16 +77,27 @@ class Item:
         return self.production.rhs
 
     def advance(self) -> "Item":
-        """The item with the dot moved one symbol to the right."""
-        if self.at_end:
-            raise ValueError(f"cannot advance reduce item {self}")
-        return Item(self.production, self.dot + 1)
+        """The item with the dot moved one symbol to the right.
+
+        Cached per instance: the successor generators advance the same
+        item objects millions of times, and reusing one result object
+        avoids both the allocation and re-hashing.
+        """
+        advanced = self._advanced
+        if advanced is None:
+            if self.at_end:
+                raise ValueError(f"cannot advance reduce item {self}")
+            advanced = self._advanced = Item(self.production, self.dot + 1)
+        return advanced
 
     def retreat(self) -> "Item":
-        """The item with the dot moved one symbol to the left."""
-        if self.dot == 0:
-            raise ValueError(f"cannot retreat item {self}")
-        return Item(self.production, self.dot - 1)
+        """The item with the dot moved one symbol to the left (cached)."""
+        retreated = self._retreated
+        if retreated is None:
+            if self.dot == 0:
+                raise ValueError(f"cannot retreat item {self}")
+            retreated = self._retreated = Item(self.production, self.dot - 1)
+        return retreated
 
     def tail(self) -> tuple[Symbol, ...]:
         """Symbols after the dot."""

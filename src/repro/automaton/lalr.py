@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from functools import cached_property
 
+from repro.automaton.bitset import LookaheadBitset, TerminalTable
 from repro.automaton.items import Item
 from repro.automaton.lr0 import LR0Automaton, LR0State
 from repro.perf import metrics
@@ -36,7 +37,14 @@ from repro.grammar import (
 def compute_lalr_lookaheads(
     automaton: LR0Automaton, analysis: GrammarAnalysis
 ) -> dict[tuple[int, Item], frozenset[Terminal]]:
-    """LALR(1) lookahead sets for every ``(state id, item)`` pair."""
+    """LALR(1) lookahead sets for every ``(state id, item)`` pair.
+
+    This is the straightforward ``frozenset``-based formulation. The
+    automaton itself runs :func:`compute_lalr_lookahead_masks` (the same
+    fixpoint over int bitmasks — the hot-path representation); this
+    version is kept as the reference oracle the property tests check the
+    bitmask fixpoint against.
+    """
     lookaheads: dict[tuple[int, Item], set[Terminal]] = {
         (state.id, item): set() for state in automaton.states for item in state.items
     }
@@ -88,6 +96,67 @@ def compute_lalr_lookaheads(
     return {key: frozenset(values) for key, values in lookaheads.items()}
 
 
+def compute_lalr_lookahead_masks(
+    automaton: LR0Automaton,
+    analysis: GrammarAnalysis,
+    table: TerminalTable,
+) -> dict[tuple[int, Item], int]:
+    """LALR(1) lookaheads as int bitmasks over *table*.
+
+    Identical channel structure to :func:`compute_lalr_lookaheads`, but
+    the per-key value is a bitmask, so the fixpoint's union and
+    changed-ness checks are single int operations instead of per-element
+    set work. Must compute exactly ``mask_of(reference[key])`` for every
+    key — the property tests enforce this.
+    """
+    masks: dict[tuple[int, Item], int] = {
+        (state.id, item): 0 for state in automaton.states for item in state.items
+    }
+    propagate: dict[tuple[int, Item], list[tuple[int, Item]]] = {
+        key: [] for key in masks
+    }
+
+    start_key = (0, automaton.start_state.items[0])
+    masks[start_key] = table.bit_of(END_OF_INPUT)
+
+    mask_of = table.mask_of
+    for state in automaton.states:
+        state_id = state.id
+        transitions = state.transitions
+        for item in state.items:
+            key = (state_id, item)
+            symbol = item.next_symbol
+            if symbol is None:
+                continue
+            propagate[key].append((transitions[symbol].id, item.advance()))
+            if symbol.is_nonterminal:
+                assert isinstance(symbol, Nonterminal)
+                beta = item.production.rhs[item.dot + 1 :]
+                spontaneous, beta_nullable = analysis.first_of_sequence_ex(beta)
+                spontaneous_mask = mask_of(spontaneous)
+                for production in automaton.grammar.productions_of(symbol):
+                    closure_key = (state_id, Item(production, 0))
+                    masks[closure_key] |= spontaneous_mask
+                    if beta_nullable:
+                        propagate[key].append(closure_key)
+
+    worklist: list[tuple[int, Item]] = [key for key, mask in masks.items() if mask]
+    in_worklist = set(worklist)
+    while worklist:
+        key = worklist.pop()
+        in_worklist.discard(key)
+        source = masks[key]
+        for target in propagate[key]:
+            combined = masks[target] | source
+            if combined != masks[target]:
+                masks[target] = combined
+                if target not in in_worklist:
+                    worklist.append(target)
+                    in_worklist.add(target)
+
+    return masks
+
+
 class LALRAutomaton:
     """An LALR(1) automaton: LR(0) skeleton plus per-item lookahead sets.
 
@@ -98,12 +167,15 @@ class LALRAutomaton:
 
     def __init__(self, grammar: Grammar) -> None:
         self.grammar = grammar
+        self.terminal_table = TerminalTable.for_grammar(grammar)
         with metrics.span("automaton"):
             with metrics.span("lr0"):
                 self.lr0 = LR0Automaton(grammar)
             with metrics.span("lookaheads"):
-                self.lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = (
-                    compute_lalr_lookaheads(self.lr0, self.analysis)
+                self.lookahead_masks: dict[tuple[int, Item], int] = (
+                    compute_lalr_lookahead_masks(
+                        self.lr0, self.analysis, self.terminal_table
+                    )
                 )
         metrics.count("automaton.states", len(self.lr0.states))
         metrics.count(
@@ -141,10 +213,55 @@ class LALRAutomaton:
     def goto(self, state: LR0State, symbol) -> LR0State | None:
         return self.lr0.goto(state, symbol)
 
-    def lookahead(self, state: LR0State | int, item: Item) -> frozenset[Terminal]:
+    @cached_property
+    def lookaheads(self) -> dict[tuple[int, Item], LookaheadBitset]:
+        """Set-like lookahead views for every ``(state id, item)`` pair.
+
+        Views are interned per distinct mask and compare/hash exactly
+        like the frozensets they replaced, so report rendering and tests
+        written against the frozenset era are unchanged. Built lazily:
+        the hot paths consult :attr:`lookahead_masks` directly and never
+        force this materialisation.
+        """
+        view = self.terminal_table.view
+        return {key: view(mask) for key, mask in self.lookahead_masks.items()}
+
+    def lookahead(self, state: LR0State | int, item: Item) -> LookaheadBitset:
         """The LALR(1) lookahead set of *item* within *state*."""
         state_id = state if isinstance(state, int) else state.id
         return self.lookaheads[(state_id, item)]
+
+    def lookahead_mask(self, state_id: int, item: Item) -> int:
+        """The lookahead of ``(state_id, item)`` as a raw int bitmask."""
+        return self.lookahead_masks[(state_id, item)]
+
+    def terminal_bit(self, terminal: Terminal) -> int:
+        """Single-bit mask for *terminal* (0 when unknown to the grammar)."""
+        return self.terminal_table.bit_of(terminal)
+
+    @cached_property
+    def _follow_parts_cache(self) -> dict[tuple[int, int], tuple[int, bool]]:
+        return {}
+
+    def follow_parts(self, production: Production, dot: int) -> tuple[int, bool]:
+        """``(FIRST(rhs[dot+1:]) as a mask, nullable?)``, memoized.
+
+        The two ingredients of the paper's *precise follow* set
+        (``follow_L`` in §4): a production step from ``A -> α . B β``
+        with context ``L`` carries lookahead ``FIRST(β) ∪ (L if β
+        nullable)``. Keyed by ``(production.index, dot)`` — a handful of
+        distinct keys per grammar, consulted hundreds of thousands of
+        times by the LASG and the unifying search's reverse moves.
+        """
+        key = (production.index, dot)
+        parts = self._follow_parts_cache.get(key)
+        if parts is None:
+            first, nullable = self.analysis.first_of_sequence_ex(
+                production.rhs[dot + 1 :]
+            )
+            parts = (self.terminal_table.mask_of(first), nullable)
+            self._follow_parts_cache[key] = parts
+        return parts
 
     # ------------------------------------------------------------------ #
     # Derived artifacts (built lazily)

@@ -78,10 +78,13 @@ class ReverseLookups:
         if symbol is None:
             return []
         retreated = item.retreat()
+        lr0 = self._automaton.lr0
+        states = lr0.states
+        item_sets = self.item_sets
         result: list[tuple[LR0State, Item]] = []
-        for predecessor in self._automaton.lr0.predecessors_on(state, symbol):
-            if retreated in self.item_sets[predecessor.id]:
-                result.append((predecessor, retreated))
+        for pred_id in lr0.arrays.predecessor_ids(state.id, symbol):
+            if retreated in item_sets[pred_id]:
+                result.append((states[pred_id], retreated))
         return result
 
     def reverse_production_steps(self, state: LR0State, item: Item) -> list[Item]:

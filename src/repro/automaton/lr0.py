@@ -8,7 +8,9 @@ outgoing transitions.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator
 
 from repro.automaton.items import Item, start_item
@@ -75,6 +77,65 @@ def closure(grammar: Grammar, kernel: frozenset[Item]) -> tuple[Item, ...]:
     return tuple(ordered)
 
 
+class AdjacencyArrays:
+    """Flat, id-indexed views of the transition graph for hot loops.
+
+    The per-state ``transitions``/``predecessors`` dicts hash a
+    :class:`~repro.grammar.symbols.Symbol` (a Python-level ``__hash__``)
+    on every probe; the successor generators of the unifying search do
+    millions of such probes. Here each symbol gets a dense integer code
+    and the forward graph becomes one flat ``array('l')`` of target state
+    ids (``-1`` for "no edge") indexed ``state_id * stride + code``; the
+    reverse graph is a parallel flat tuple of predecessor-id tuples.
+    """
+
+    __slots__ = ("symbols", "code", "stride", "goto_flat", "pred_flat")
+
+    def __init__(
+        self,
+        states: list["LR0State"],
+        predecessors: dict[int, dict[Symbol, list["LR0State"]]],
+    ) -> None:
+        universe = sorted(
+            {symbol for state in states for symbol in state.transitions}, key=str
+        )
+        self.symbols: tuple[Symbol, ...] = tuple(universe)
+        self.code: dict[Symbol, int] = {
+            symbol: code for code, symbol in enumerate(self.symbols)
+        }
+        stride = self.stride = len(self.symbols)
+        goto_flat = array("l", bytes(0)) if stride == 0 else array(
+            "l", [-1] * (len(states) * stride)
+        )
+        pred_flat: list[tuple[int, ...]] = [()] * (len(states) * stride)
+        for state in states:
+            base = state.id * stride
+            for symbol, target in state.transitions.items():
+                goto_flat[base + self.code[symbol]] = target.id
+        for state_id, by_symbol in predecessors.items():
+            base = state_id * stride
+            for symbol, sources in by_symbol.items():
+                pred_flat[base + self.code[symbol]] = tuple(
+                    source.id for source in sources
+                )
+        self.goto_flat = goto_flat
+        self.pred_flat: tuple[tuple[int, ...], ...] = tuple(pred_flat)
+
+    def goto_id(self, state_id: int, symbol: Symbol) -> int:
+        """Target state id of the *symbol*-edge out of *state_id*, or -1."""
+        code = self.code.get(symbol)
+        if code is None:
+            return -1
+        return self.goto_flat[state_id * self.stride + code]
+
+    def predecessor_ids(self, state_id: int, symbol: Symbol) -> tuple[int, ...]:
+        """Ids of states with a *symbol*-edge into *state_id*."""
+        code = self.code.get(symbol)
+        if code is None:
+            return ()
+        return self.pred_flat[state_id * self.stride + code]
+
+
 class LR0Automaton:
     """The canonical collection of LR(0) item sets for a grammar."""
 
@@ -124,6 +185,16 @@ class LR0Automaton:
                     worklist.append(target)
 
     # ------------------------------------------------------------------ #
+
+    @cached_property
+    def arrays(self) -> AdjacencyArrays:
+        """Array-backed adjacency, built lazily on first hot-path use.
+
+        Lazy (rather than built in ``__init__``) because cache decoding
+        (:mod:`repro.automaton.serialize`) reconstructs automatons via
+        ``__new__`` and most cached consumers never touch the arrays.
+        """
+        return AdjacencyArrays(self.states, self.predecessors)
 
     def goto(self, state: LR0State, symbol: Symbol) -> LR0State | None:
         """The successor of *state* on *symbol*, or ``None``."""

@@ -20,10 +20,18 @@ The **full-automaton format** (:func:`automaton_to_dict` /
 *counterexample* pipeline needs — item sets, the transition graph, the
 per-item LALR(1) lookahead function, and the unresolved conflicts — so a
 :class:`~repro.automaton.lalr.LALRAutomaton` can be reconstructed without
-re-running LR(0) construction or the lookahead fixpoint. Lookahead sets
-are pooled (most items share one of a few hundred distinct sets), which
-keeps the document small and the decode fast; this format backs the
-content-addressed cache in :mod:`repro.perf.cache`.
+re-running LR(0) construction or the lookahead fixpoint.
+
+Format **v2** mirrors the in-memory hot-path representation: lookahead
+sets are pooled *int bitmasks* over the automaton's name-sorted
+:class:`~repro.automaton.bitset.TerminalTable` (decode is a dict fill,
+no set construction), transitions are flat ``[symbol code, target id]``
+arrays over a shared symbol list, and ACTION/GOTO rows are flat coded
+triples/pairs instead of name-keyed objects. A v1 *reader* is kept so
+documents produced by older builds still load; v1 entries in the
+content-addressed cache (:mod:`repro.perf.cache`) are simply never found
+— the format version is folded into the cache key, so the bump turns
+them into clean misses, not errors.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.automaton.bitset import TerminalTable
 from repro.automaton.conflicts import Conflict, ConflictKind
 from repro.automaton.items import Item
 from repro.automaton.lalr import LALRAutomaton
@@ -43,7 +52,10 @@ FORMAT_VERSION = 1
 #: Version of the full-automaton format. Bump on any change to the
 #: encoding below; :mod:`repro.perf.cache` folds it into the cache key,
 #: so stale cache entries self-invalidate.
-FULL_FORMAT_VERSION = 1
+FULL_FORMAT_VERSION = 2
+
+#: ACTION opcodes of the v2 flat encoding.
+_OP_SHIFT, _OP_REDUCE, _OP_ACCEPT, _OP_ERROR = 0, 1, 2, 3
 
 
 def tables_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
@@ -165,73 +177,93 @@ def _encode_full_action(action: Action) -> list[Any]:
 
 
 def automaton_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
-    """A JSON-compatible snapshot of the *whole* automaton.
+    """A JSON-compatible v2 snapshot of the *whole* automaton.
 
     Captures the grammar (as DSL text — :func:`repro.grammar.emit.dump_grammar`
     round-trips production order, start symbol, and precedence), the
-    state graph with item sets and transitions, the pooled lookahead
-    function, and the fully built parse tables including unresolved
-    conflicts. Parse tables are forced if not yet built.
+    state graph with item sets and flat coded transitions, the pooled
+    bitmask lookahead function over the automaton's terminal table, and
+    the fully built parse tables including unresolved conflicts. Parse
+    tables are forced if not yet built.
     """
     grammar = automaton.grammar
     tables = automaton.tables  # force, so conflicts are captured
     from repro.grammar.emit import dump_grammar
 
-    term_codes: dict[Terminal, int] = {}
+    table = automaton.terminal_table
+    terminal_code = table.index
+    masks = automaton.lookahead_masks
 
-    def code_of(terminal: Terminal) -> int:
-        code = term_codes.get(terminal)
+    #: Transition/GOTO symbols get dense codes in first-seen order (the
+    #: state graph's construction order is deterministic, so the dump is).
+    symbol_codes: dict[Symbol, int] = {}
+    symbol_names: list[str] = []
+
+    def code_of(symbol: Symbol) -> int:
+        code = symbol_codes.get(symbol)
         if code is None:
-            code = term_codes[terminal] = len(term_codes)
+            code = symbol_codes[symbol] = len(symbol_names)
+            symbol_names.append(symbol.name)
         return code
 
-    pool_index: dict[tuple[int, ...], int] = {}
-    pool: list[list[int]] = []
+    pool_index: dict[int, int] = {}
+    pool: list[int] = []
     states: list[dict[str, Any]] = []
     lookahead_rows: list[list[int]] = []
     for state in automaton.states:
-        states.append(
-            {
-                "k": len(state.kernel),
-                "items": [[item.production.index, item.dot] for item in state.items],
-                "trans": [
-                    [str(symbol), target.id]
-                    for symbol, target in state.transitions.items()
-                ],
-            }
-        )
+        items_flat: list[int] = []
         row: list[int] = []
         for item in state.items:
-            # Sort by name *before* assigning codes so the pool layout is
-            # independent of set iteration order (dump is deterministic).
-            key = tuple(
-                code_of(t)
-                for t in sorted(
-                    automaton.lookaheads[(state.id, item)], key=lambda t: t.name
-                )
-            )
-            index = pool_index.get(key)
+            items_flat.append(item.production.index)
+            items_flat.append(item.dot)
+            mask = masks[(state.id, item)]
+            index = pool_index.get(mask)
             if index is None:
-                index = pool_index[key] = len(pool)
-                pool.append(list(key))
+                index = pool_index[mask] = len(pool)
+                pool.append(mask)
             row.append(index)
+        trans_flat: list[int] = []
+        for symbol, target in state.transitions.items():
+            trans_flat.append(code_of(symbol))
+            trans_flat.append(target.id)
+        states.append({"k": len(state.kernel), "items": items_flat, "trans": trans_flat})
         lookahead_rows.append(row)
+
+    def encode_action_row(row: dict[Terminal, Action]) -> list[int]:
+        flat: list[int] = []
+        for terminal, action in sorted(
+            row.items(), key=lambda pair: terminal_code[pair[0]]
+        ):
+            if isinstance(action, Shift):
+                op, arg = _OP_SHIFT, action.state_id
+            elif isinstance(action, Reduce):
+                op, arg = _OP_REDUCE, action.production.index
+            elif isinstance(action, Accept):
+                op, arg = _OP_ACCEPT, -1
+            else:
+                op, arg = _OP_ERROR, -1
+            flat.extend((terminal_code[terminal], op, arg))
+        return flat
+
+    def encode_goto_row(row: dict[Nonterminal, int]) -> list[int]:
+        flat: list[int] = []
+        for nonterminal, target in sorted(
+            row.items(), key=lambda pair: str(pair[0])
+        ):
+            flat.extend((code_of(nonterminal), target))
+        return flat
 
     return {
         "full_version": FULL_FORMAT_VERSION,
         "grammar": grammar.name,
         "grammar_dsl": dump_grammar(grammar),
-        "terminals": [t.name for t in term_codes],
+        "terminals": [t.name for t in table.terminals],
+        "symbols": symbol_names,
         "states": states,
         "la_pool": pool,
         "lookaheads": lookahead_rows,
-        "action": [
-            {str(t): _encode_full_action(a) for t, a in row.items()}
-            for row in tables.action
-        ],
-        "goto": [
-            {str(nt): target for nt, target in row.items()} for row in tables.goto
-        ],
+        "action": [encode_action_row(row) for row in tables.action],
+        "goto": [encode_goto_row(row) for row in tables.goto],
         "conflicts": [
             {
                 "state": c.state_id,
@@ -247,38 +279,19 @@ def automaton_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
     }
 
 
-def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
-    """Reconstruct an :class:`LALRAutomaton` from :func:`automaton_to_dict`.
-
-    The grammar is reloaded from its embedded DSL text (identical
-    production indices by the emitter's round-trip guarantee); states,
-    transitions, lookaheads, and tables are rebuilt directly, skipping
-    LR(0) construction, the lookahead fixpoint, and table building. The
-    nullable/FIRST analysis stays lazy and is recomputed on first use.
-    """
-    version = data.get("full_version")
-    if version != FULL_FORMAT_VERSION:
-        raise ValueError(f"unsupported full-automaton format version {version!r}")
-
-    from repro.grammar.dsl import load_grammar
-
-    grammar = load_grammar(data["grammar_dsl"], name=data.get("grammar", "grammar"))
-    productions = grammar.productions
-    nonterminal_names = {nt.name for nt in grammar.nonterminals}
-
-    def symbol_of(name: str) -> Symbol:
-        if name in nonterminal_names:
-            return Nonterminal(name)
-        return Terminal(name)
-
-    terminals = [Terminal(name) for name in data["terminals"]]
-    pool_sets = [
-        frozenset(terminals[code] for code in codes) for codes in data["la_pool"]
-    ]
-
+def _build_states(
+    data: dict[str, Any], productions, flat_items: bool
+) -> list[LR0State]:
+    """Shared state-list reconstruction for both format versions."""
     states: list[LR0State] = []
     for state_id, encoded in enumerate(data["states"]):
-        items = tuple(Item(productions[p], dot) for p, dot in encoded["items"])
+        raw = encoded["items"]
+        if flat_items:
+            items = tuple(
+                Item(productions[raw[i]], raw[i + 1]) for i in range(0, len(raw), 2)
+            )
+        else:
+            items = tuple(Item(productions[p], dot) for p, dot in raw)
         states.append(
             LR0State(
                 id=state_id,
@@ -286,14 +299,37 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
                 items=items,
             )
         )
+    return states
 
-    lookaheads: dict[tuple[int, Item], frozenset[Terminal]] = {}
-    for state, encoded, row in zip(states, data["states"], data["lookaheads"]):
-        for name, target in encoded["trans"]:
-            state.transitions[symbol_of(name)] = states[target]
-        for item, pool_id in zip(state.items, row):
-            lookaheads[(state.id, item)] = pool_sets[pool_id]
 
+def _decode_conflicts(data: dict[str, Any], productions) -> list[Conflict]:
+    return [
+        Conflict(
+            state_id=entry["state"],
+            terminal=Terminal(entry["terminal"]),
+            kind=ConflictKind(entry["kind"]),
+            reduce_item=Item(productions[entry["reduce"][0]], entry["reduce"][1]),
+            other_item=Item(productions[entry["other"][0]], entry["other"][1]),
+        )
+        for entry in data["conflicts"]
+    ]
+
+
+def _assemble(
+    data: dict[str, Any],
+    grammar: Grammar,
+    states: list[LR0State],
+    terminal_table: TerminalTable,
+    lookahead_masks: dict[tuple[int, Item], int],
+    tables: ParseTables,
+) -> LALRAutomaton:
+    """Final object assembly shared by both decoders.
+
+    Rebuilds the reverse transition graph and wires the ``__new__``-made
+    instances together. The nullable/FIRST analysis, the lookahead
+    *views*, and the adjacency arrays all stay lazy — cached consumers
+    that never touch them never pay for them.
+    """
     predecessors: dict[int, dict[Symbol, list[LR0State]]] = {
         state.id: {} for state in states
     }
@@ -307,6 +343,45 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
     lr0._by_kernel = {state.kernel: state for state in states}
     lr0.predecessors = predecessors
 
+    automaton = LALRAutomaton.__new__(LALRAutomaton)
+    automaton.grammar = grammar
+    automaton.lr0 = lr0
+    automaton.terminal_table = terminal_table
+    automaton.lookahead_masks = lookahead_masks
+    # Pre-seed the lazily built tables; ``analysis`` and the set-like
+    # ``lookaheads`` views stay lazy.
+    automaton.__dict__["tables"] = tables
+    return automaton
+
+
+def _automaton_from_dict_v1(data: dict[str, Any]) -> LALRAutomaton:
+    """Compatibility reader for v1 documents (name-keyed, set pools)."""
+    from repro.grammar.dsl import load_grammar
+
+    grammar = load_grammar(data["grammar_dsl"], name=data.get("grammar", "grammar"))
+    productions = grammar.productions
+    nonterminal_names = {nt.name for nt in grammar.nonterminals}
+
+    def symbol_of(name: str) -> Symbol:
+        if name in nonterminal_names:
+            return Nonterminal(name)
+        return Terminal(name)
+
+    terminal_table = TerminalTable.for_grammar(grammar)
+    terminals = [Terminal(name) for name in data["terminals"]]
+    pool_masks = [
+        terminal_table.mask_of(terminals[code] for code in codes)
+        for codes in data["la_pool"]
+    ]
+
+    states = _build_states(data, productions, flat_items=False)
+    lookahead_masks: dict[tuple[int, Item], int] = {}
+    for state, encoded, row in zip(states, data["states"], data["lookaheads"]):
+        for name, target in encoded["trans"]:
+            state.transitions[symbol_of(name)] = states[target]
+        for item, pool_id in zip(state.items, row):
+            lookahead_masks[(state.id, item)] = pool_masks[pool_id]
+
     def decode_action(encoded: list[Any]) -> Action:
         tag = encoded[0]
         if tag == "s":
@@ -317,16 +392,6 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
             return Accept()
         return ErrorAction()
 
-    conflicts = [
-        Conflict(
-            state_id=entry["state"],
-            terminal=Terminal(entry["terminal"]),
-            kind=ConflictKind(entry["kind"]),
-            reduce_item=Item(productions[entry["reduce"][0]], entry["reduce"][1]),
-            other_item=Item(productions[entry["other"][0]], entry["other"][1]),
-        )
-        for entry in data["conflicts"]
-    ]
     tables = ParseTables(
         action=[
             {Terminal(name): decode_action(encoded) for name, encoded in row.items()}
@@ -336,20 +401,90 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
             {Nonterminal(name): target for name, target in row.items()}
             for row in data["goto"]
         ],
-        conflicts=conflicts,
+        conflicts=_decode_conflicts(data, productions),
         resolved_count=data.get("resolved_count", 0),
         used_precedence=frozenset(
             Terminal(name) for name in data.get("used_precedence", ())
         ),
     )
+    return _assemble(data, grammar, states, terminal_table, lookahead_masks, tables)
 
-    automaton = LALRAutomaton.__new__(LALRAutomaton)
-    automaton.grammar = grammar
-    automaton.lr0 = lr0
-    automaton.lookaheads = lookaheads
-    # Pre-seed the lazily built tables; ``analysis`` stays lazy.
-    automaton.__dict__["tables"] = tables
-    return automaton
+
+def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
+    """Reconstruct an :class:`LALRAutomaton` from :func:`automaton_to_dict`.
+
+    The grammar is reloaded from its embedded DSL text (identical
+    production indices by the emitter's round-trip guarantee); states,
+    transitions, lookahead masks, and tables are rebuilt directly,
+    skipping LR(0) construction, the lookahead fixpoint, and table
+    building. Both the current v2 format and legacy v1 documents decode;
+    any other version raises ``ValueError`` (which the automaton cache
+    treats as a miss).
+    """
+    version = data.get("full_version")
+    if version == 1:
+        return _automaton_from_dict_v1(data)
+    if version != FULL_FORMAT_VERSION:
+        raise ValueError(f"unsupported full-automaton format version {version!r}")
+
+    from repro.grammar.dsl import load_grammar
+
+    grammar = load_grammar(data["grammar_dsl"], name=data.get("grammar", "grammar"))
+    productions = grammar.productions
+    nonterminal_names = {nt.name for nt in grammar.nonterminals}
+
+    symbols: list[Symbol] = [
+        Nonterminal(name) if name in nonterminal_names else Terminal(name)
+        for name in data["symbols"]
+    ]
+    terminal_table = TerminalTable(Terminal(name) for name in data["terminals"])
+    terminals = terminal_table.terminals
+    pool = [int(mask) for mask in data["la_pool"]]
+
+    states = _build_states(data, productions, flat_items=True)
+    lookahead_masks: dict[tuple[int, Item], int] = {}
+    for state, encoded, row in zip(states, data["states"], data["lookaheads"]):
+        trans = encoded["trans"]
+        transitions = state.transitions
+        for i in range(0, len(trans), 2):
+            transitions[symbols[trans[i]]] = states[trans[i + 1]]
+        state_id = state.id
+        for item, pool_id in zip(state.items, row):
+            lookahead_masks[(state_id, item)] = pool[pool_id]
+
+    def decode_action_row(flat: list[int]) -> dict[Terminal, Action]:
+        row: dict[Terminal, Action] = {}
+        for i in range(0, len(flat), 3):
+            terminal = terminals[flat[i]]
+            op, arg = flat[i + 1], flat[i + 2]
+            if op == _OP_SHIFT:
+                row[terminal] = Shift(arg)
+            elif op == _OP_REDUCE:
+                row[terminal] = Reduce(productions[arg])
+            elif op == _OP_ACCEPT:
+                row[terminal] = Accept()
+            else:
+                row[terminal] = ErrorAction()
+        return row
+
+    def decode_goto_row(flat: list[int]) -> dict[Nonterminal, int]:
+        row: dict[Nonterminal, int] = {}
+        for i in range(0, len(flat), 2):
+            symbol = symbols[flat[i]]
+            assert isinstance(symbol, Nonterminal)
+            row[symbol] = flat[i + 1]
+        return row
+
+    tables = ParseTables(
+        action=[decode_action_row(flat) for flat in data["action"]],
+        goto=[decode_goto_row(flat) for flat in data["goto"]],
+        conflicts=_decode_conflicts(data, productions),
+        resolved_count=data.get("resolved_count", 0),
+        used_precedence=frozenset(
+            Terminal(name) for name in data.get("used_precedence", ())
+        ),
+    )
+    return _assemble(data, grammar, states, terminal_table, lookahead_masks, tables)
 
 
 def dump_automaton(automaton: LALRAutomaton) -> str:

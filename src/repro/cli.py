@@ -271,6 +271,11 @@ def _emit_profile(args: argparse.Namespace, collector) -> None:
     metrics.disable()
     if args.profile:
         print(collector.render())
+        hotspots = collector.hotspots(5)
+        if hotspots:
+            print("top hotspots (exclusive time):")
+            for path, exclusive, total in hotspots:
+                print(f"  {path:<28} {exclusive:>9.4f}s  (inclusive {total:.4f}s)")
     if args.profile_json:
         document = json.dumps(collector.to_json(), indent=2, sort_keys=True)
         if args.profile_json == "-":

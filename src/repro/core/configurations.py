@@ -145,6 +145,25 @@ class SuccessorGenerator:
         self.lookups = automaton.lookups
         self.conflict = conflict
         self.allowed_prepend_states = allowed_prepend_states
+        # Hot-path state, hoisted once per conflict: the successor methods
+        # run for every explored configuration, so attribute chains,
+        # Symbol-keyed dict probes, and set-based lookahead membership
+        # tests are replaced by flat arrays and int masks.
+        self._states = automaton.lr0.states
+        self._arrays = automaton.lr0.arrays
+        self._masks = automaton.lookahead_masks
+        self._terminal_bit = automaton.terminal_bit(conflict.terminal)
+        #: (production index, dot) -> FIRST symbols of rhs[dot:] + nullable.
+        self._tail_first: dict[tuple[int, int], tuple[frozenset[Symbol], bool]] = {}
+
+    def _first_of_tail(self, production: Production, dot: int):
+        """Memoized ``first_symbols_of_sequence(production.rhs[dot:])``."""
+        key = (production.index, dot)
+        cached = self._tail_first.get(key)
+        if cached is None:
+            cached = self.analysis.first_symbols_of_sequence(production.rhs[dot:])
+            self._tail_first[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
 
@@ -176,9 +195,7 @@ class SuccessorGenerator:
             # is in the reduce item's lookahead set (it is the next input
             # symbol at that point).
             if not config.shifted:
-                if self.conflict.terminal not in self.automaton.lookahead(
-                    state_id, item
-                ):
+                if not self._masks[(state_id, item)] & self._terminal_bit:
                     continue
             successor = self._reduce(config, parser)
             if successor is not None:
@@ -196,13 +213,11 @@ class SuccessorGenerator:
         parent_state_id, parent_item = items[-(arity + 2)]
         if parent_item.next_symbol != production.lhs:
             return None
-        goto_state = self.automaton.states[parent_state_id].transitions.get(
-            production.lhs
-        )
-        if goto_state is None:
+        goto_id = self._arrays.goto_id(parent_state_id, production.lhs)
+        if goto_id < 0:
             return None
 
-        new_items = items[: -(arity + 1)] + ((goto_state.id, parent_item.advance()),)
+        new_items = items[: -(arity + 1)] + ((goto_id, parent_item.advance()),)
 
         # Does this fold remove the original conflict item? The fold pops
         # the last `arity + 1` entries (the production's dot-walk), so it
@@ -272,17 +287,22 @@ class SuccessorGenerator:
             # conflict terminal, otherwise the example would not exhibit
             # this conflict.
             return
-        target1 = self.automaton.states[state1].transitions.get(symbol)
-        target2 = self.automaton.states[state2].transitions.get(symbol)
-        if target1 is None or target2 is None:
+        arrays = self._arrays
+        code = arrays.code.get(symbol)
+        if code is None:
+            return
+        stride, goto_flat = arrays.stride, arrays.goto_flat
+        target1 = goto_flat[state1 * stride + code]
+        target2 = goto_flat[state2 * stride + code]
+        if target1 < 0 or target2 < 0:
             return
         leaf = dleaf(symbol)
         yield (
             "transition",
             COST_TRANSITION,
             Configuration(
-                config.items1 + ((target1.id, item1.advance()),),
-                config.items2 + ((target2.id, item2.advance()),),
+                config.items1 + ((target1, item1.advance()),),
+                config.items2 + ((target2, item2.advance()),),
                 config.derivs1 + (leaf,),
                 config.derivs2 + (leaf,),
                 config.conflict1,
@@ -347,8 +367,7 @@ class SuccessorGenerator:
         _, other_item = other_items[-1]
         if other_item.at_end:
             return None
-        tail = other_item.production.rhs[other_item.dot :]
-        symbols, nullable = self.analysis.first_symbols_of_sequence(tail)
+        symbols, nullable = self._first_of_tail(other_item.production, other_item.dot)
         if nullable:
             return None  # the other parser may finish this production entirely
         return symbols
@@ -364,7 +383,7 @@ class SuccessorGenerator:
         """
         if viable is None:
             return True
-        first, nullable = self.analysis.first_symbols_of_sequence(production.rhs)
+        first, nullable = self._first_of_tail(production, 0)
         return nullable or not viable.isdisjoint(first)
 
     # ------------------------------------------------------------------ #
@@ -428,31 +447,30 @@ class SuccessorGenerator:
         retreat1 = head1.retreat()
         retreat2 = head2.retreat()
         leaf = dleaf(symbol)
-        for predecessor in self.automaton.lr0.predecessors_on(head_state, symbol):
+        masks = self._masks
+        terminal_bit = self._terminal_bit
+        check1 = not config.complete1
+        check2 = not config.complete2 and not self.conflict.is_shift_reduce
+        item_sets = self.lookups.item_sets
+        for pred_id in self._arrays.predecessor_ids(head_state_id, symbol):
             if (
                 self.allowed_prepend_states is not None
-                and predecessor.id not in self.allowed_prepend_states
+                and pred_id not in self.allowed_prepend_states
             ):
                 continue
-            item_set = self.lookups.item_sets[predecessor.id]
+            item_set = item_sets[pred_id]
             if retreat1 not in item_set or retreat2 not in item_set:
                 continue
-            if not config.complete1:
-                if self.conflict.terminal not in self.automaton.lookahead(
-                    predecessor.id, retreat1
-                ):
-                    continue
-            if not config.complete2 and not self.conflict.is_shift_reduce:
-                if self.conflict.terminal not in self.automaton.lookahead(
-                    predecessor.id, retreat2
-                ):
-                    continue
+            if check1 and not masks[(pred_id, retreat1)] & terminal_bit:
+                continue
+            if check2 and not masks[(pred_id, retreat2)] & terminal_bit:
+                continue
             yield (
                 "revtransition",
                 COST_REVERSE_TRANSITION,
                 Configuration(
-                    ((predecessor.id, retreat1),) + config.items1,
-                    ((predecessor.id, retreat2),) + config.items2,
+                    ((pred_id, retreat1),) + config.items1,
+                    ((pred_id, retreat2),) + config.items2,
                     (leaf,) + config.derivs1,
                     (leaf,) + config.derivs2,
                     config.conflict1 + 1 if config.conflict1 >= 0 else -1,
@@ -480,6 +498,13 @@ class SuccessorGenerator:
             return True
         if parser == 2 and (config.complete2 or self.conflict.is_shift_reduce):
             return True
-        context = self.automaton.lookahead(state_id, parent)
-        follow = self.analysis.precise_follow(parent.production, parent.dot, context)
-        return self.conflict.terminal in follow
+        # precise_follow = FIRST(β) ∪ (context if β nullable), evaluated
+        # as masks via the automaton's memoized follow parts.
+        first_mask, nullable = self.automaton.follow_parts(
+            parent.production, parent.dot
+        )
+        if first_mask & self._terminal_bit:
+            return True
+        if not nullable:
+            return False
+        return bool(self._masks[(state_id, parent)] & self._terminal_bit)

@@ -20,11 +20,42 @@ does not; see the dangling-else discussion in §4.)
 As in the paper's implementation, the search is restricted to parser
 states that can reach the conflict item backward, which keeps the graph
 small; vertices are materialised lazily during the breadth-first search.
+
+Hot-path representation
+-----------------------
+
+The graph is never materialised as objects during the search. A BFS
+vertex is the plain tuple ``(state_id, item, lookahead_mask)`` — the
+lookahead is an int bitmask over the automaton's
+:class:`~repro.automaton.bitset.TerminalTable` — and two memo layers are
+shared across all the conflicts explained against one graph instance
+(one :class:`~repro.core.finder.CounterexampleFinder` lifetime):
+
+* a *skeleton* per ``(state_id, item)``: the goto target, the advanced
+  item, and (for nonterminal dots) the production-step items plus the
+  precomputed ``(FIRST(β) mask, β nullable)`` follow parts. This is
+  conflict- and lookahead-independent, so it is a plain dict bounded by
+  the automaton's own size;
+* a bounded LRU over fully-expanded vertex successor lists keyed by the
+  full ``(state_id, item, mask)`` triple — conflicts of one automaton
+  revisit the same vertices near the start state constantly. Bounded
+  (mirroring ``lookups.reaching_pairs``) because distinct masks can in
+  principle multiply without limit on a long-lived graph; hits, misses
+  and evictions are exposed via :meth:`LookaheadSensitiveGraph.cache_info`
+  and the ``lasg.successors.*`` metrics counters.
+
+``lasg.vertices.materialized`` counts the vertices the BFS actually
+created; ``lasg.vertices.estimated_full`` records the size estimate of
+the *whole* graph (items × distinct lookahead sets), recorded once per
+graph so profiles show how much work laziness avoided.
+
+:class:`LASGVertex`/:class:`LASGEdge` objects are only built for the
+final reconstructed path and by the public :meth:`successors` API.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -32,6 +63,7 @@ from repro.automaton.conflicts import Conflict
 from repro.automaton.items import Item
 from repro.automaton.lalr import LALRAutomaton
 from repro.grammar import END_OF_INPUT, Nonterminal, Symbol, Terminal
+from repro.perf import metrics
 from repro.robust.budget import Budget
 from repro.robust.errors import PathNotFoundError
 from repro.robust.faults import fire
@@ -72,12 +104,39 @@ class LASGEdge:
 
 
 class LookaheadSensitiveGraph:
-    """Lazy lookahead-sensitive graph over an LALR automaton."""
+    """Lazy lookahead-sensitive graph over an LALR automaton.
 
-    def __init__(self, automaton: LALRAutomaton) -> None:
+    One instance is meant to live exactly as long as one
+    :class:`~repro.core.finder.CounterexampleFinder`: its memo tables
+    are shared across that finder's conflicts and released with it.
+    """
+
+    def __init__(
+        self, automaton: LALRAutomaton, max_cache_entries: int = 32_768
+    ) -> None:
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive")
         self.automaton = automaton
         self.analysis = automaton.analysis
         self.grammar = automaton.grammar
+        self.max_cache_entries = max_cache_entries
+        #: (state_id, item) -> (goto_target_id, advanced_item,
+        #: step_items, first_mask, nullable) | None for reduce items.
+        #: Conflict-independent, bounded by the automaton size.
+        self._skeletons: dict[
+            tuple[int, Item],
+            tuple[int, Item, tuple[Item, ...], int, bool] | None,
+        ] = {}
+        #: Bounded LRU over expanded successor lists, keyed by the full
+        #: vertex triple; shared across this graph's conflicts.
+        self._successor_cache: OrderedDict[
+            tuple[int, Item, int],
+            tuple[tuple[tuple[int, Item, int], Symbol | None], ...],
+        ] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._estimate_recorded = False
 
     # ------------------------------------------------------------------ #
 
@@ -87,7 +146,12 @@ class LookaheadSensitiveGraph:
         return LASGVertex(0, self.automaton.start_item, frozenset({END_OF_INPUT}))
 
     def successors(self, vertex: LASGVertex) -> Iterator[LASGEdge]:
-        """All outgoing edges of *vertex*, created on demand."""
+        """All outgoing edges of *vertex*, created on demand.
+
+        Object-level API (tests, tooling, the paper's definitions in
+        executable form). :meth:`shortest_path` expands the same edges —
+        in the same order — through the tuple-level fast path instead.
+        """
         item = vertex.item
         symbol = item.next_symbol
         if symbol is None:
@@ -114,6 +178,110 @@ class LookaheadSensitiveGraph:
                 )
 
     # ------------------------------------------------------------------ #
+    # Tuple-level lazy expansion (the hot path)
+
+    def _skeleton(
+        self, state_id: int, item: Item
+    ) -> tuple[int, Item, tuple[Item, ...], int, bool] | None:
+        """Lookahead-independent expansion data for ``(state_id, item)``."""
+        key = (state_id, item)
+        try:
+            return self._skeletons[key]
+        except KeyError:
+            pass
+        symbol = item.next_symbol
+        if symbol is None:
+            skeleton = None
+        else:
+            target_id = self.automaton.states[state_id].transitions[symbol].id
+            if symbol.is_nonterminal:
+                assert isinstance(symbol, Nonterminal)
+                first_mask, nullable = self.automaton.follow_parts(
+                    item.production, item.dot
+                )
+                step_items = tuple(
+                    Item(production, 0)
+                    for production in self.grammar.productions_of(symbol)
+                )
+            else:
+                first_mask, nullable, step_items = 0, False, ()
+            skeleton = (target_id, item.advance(), step_items, first_mask, nullable)
+        self._skeletons[key] = skeleton
+        return skeleton
+
+    def _expand(
+        self, state_id: int, item: Item, mask: int
+    ) -> tuple[tuple[tuple[int, Item, int], Symbol | None], ...]:
+        """Successor ``((state_id, item, mask), symbol)`` pairs of a vertex.
+
+        Same edges, same order, as :meth:`successors`: the transition
+        edge first, then production steps in declaration order — BFS
+        tie-breaking (and therefore which of several equally-short paths
+        a report shows) depends on this order staying fixed. Memoized in
+        the bounded cross-conflict LRU.
+        """
+        cache_key = (state_id, item, mask)
+        cache = self._successor_cache
+        cached = cache.get(cache_key)
+        if cached is not None:
+            cache.move_to_end(cache_key)
+            self._cache_hits += 1
+            metrics.count("lasg.successors.hit")
+            return cached
+        self._cache_misses += 1
+        metrics.count("lasg.successors.miss")
+        skeleton = self._skeleton(state_id, item)
+        if skeleton is None:
+            expanded: tuple = ()
+        else:
+            target_id, advanced, step_items, first_mask, nullable = skeleton
+            symbol = item.next_symbol
+            edges = [((target_id, advanced, mask), symbol)]
+            if step_items:
+                follow = first_mask | mask if nullable else first_mask
+                edges.extend(
+                    ((state_id, step_item, follow), None)
+                    for step_item in step_items
+                )
+            expanded = tuple(edges)
+        cache[cache_key] = expanded
+        if len(cache) > self.max_cache_entries:
+            cache.popitem(last=False)
+            self._cache_evictions += 1
+            metrics.count("lasg.successors.evicted")
+        return expanded
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/eviction counters and size of the successor LRU."""
+        return {
+            "entries": len(self._successor_cache),
+            "max_entries": self.max_cache_entries,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+            "skeletons": len(self._skeletons),
+        }
+
+    def clear_successor_cache(self) -> None:
+        """Drop the memoized successor lists (counters kept)."""
+        self._successor_cache.clear()
+
+    def _record_estimate(self) -> None:
+        """Record the whole-graph size estimate once per graph instance.
+
+        The eager construction this module replaced would materialise up
+        to ``(state, item) pairs × distinct lookahead sets`` vertices;
+        comparing that against ``lasg.vertices.materialized`` in a
+        profile shows what laziness saved.
+        """
+        if self._estimate_recorded:
+            return
+        self._estimate_recorded = True
+        masks = self.automaton.lookahead_masks
+        distinct_masks = len(set(masks.values())) or 1
+        metrics.count("lasg.vertices.estimated_full", len(masks) * distinct_masks)
+
+    # ------------------------------------------------------------------ #
 
     def shortest_path(
         self, conflict: Conflict, budget: Budget | None = None
@@ -132,19 +300,20 @@ class LookaheadSensitiveGraph:
         and the budget's structured errors when *budget* runs out.
         """
         fire("lasg")
-        target_state = self.automaton.states[conflict.state_id]
+        self._record_estimate()
+        automaton = self.automaton
+        target_state = automaton.states[conflict.state_id]
         target_item = conflict.reduce_item
-        terminal = conflict.terminal
+        target_state_id = conflict.state_id
+        terminal_bit = automaton.terminal_bit(conflict.terminal)
 
         # Restrict to (state, item) pairs that can reach the conflict item
         # (§6 describes a state-level restriction; the pair-level one is a
         # strictly stronger, equally sound prune).
-        allowed_pairs = self.automaton.lookups.reaching_pairs(
-            target_state, target_item
-        )
+        allowed_pairs = automaton.lookups.reaching_pairs(target_state, target_item)
 
-        start = self.start_vertex
-        if (start.state_id, start.item) not in allowed_pairs:
+        start_item = automaton.start_item
+        if (0, start_item) not in allowed_pairs:
             raise PathNotFoundError(
                 f"start state cannot reach conflict item {target_item} "
                 f"in state {conflict.state_id}",
@@ -153,31 +322,40 @@ class LookaheadSensitiveGraph:
                 state_id=conflict.state_id,
             )
 
-        parents: dict[LASGVertex, LASGEdge] = {}
-        queue: deque[LASGVertex] = deque([start])
-        seen: set[LASGVertex] = {start}
+        start_key = (0, start_item, automaton.terminal_bit(END_OF_INPUT))
+        #: vertex key -> (parent key, edge symbol or None)
+        parents: dict[
+            tuple[int, Item, int], tuple[tuple[int, Item, int], Symbol | None]
+        ] = {}
+        queue: deque[tuple[int, Item, int]] = deque([start_key])
+        seen: set[tuple[int, Item, int]] = {start_key}
+        expand = self._expand
+        materialized = 1
 
         while queue:
             if budget is not None:
                 budget.charge()
                 budget.poll("lasg")
-            vertex = queue.popleft()
+            key = queue.popleft()
+            state_id, item, mask = key
             if (
-                vertex.state_id == conflict.state_id
-                and vertex.item == target_item
-                and terminal in vertex.lookahead
+                state_id == target_state_id
+                and item == target_item
+                and mask & terminal_bit
             ):
-                return self._reconstruct(parents, vertex)
-            for edge in self.successors(vertex):
-                successor = edge.target
-                if (successor.state_id, successor.item) not in allowed_pairs:
-                    continue
+                metrics.count("lasg.vertices.materialized", materialized)
+                return self._reconstruct(parents, key)
+            for successor, _symbol in expand(state_id, item, mask):
                 if successor in seen:
                     continue
+                if (successor[0], successor[1]) not in allowed_pairs:
+                    continue
                 seen.add(successor)
-                parents[successor] = edge
+                materialized += 1
+                parents[successor] = (key, _symbol)
                 queue.append(successor)
 
+        metrics.count("lasg.vertices.materialized", materialized)
         raise PathNotFoundError(
             f"no lookahead-sensitive path to conflict {conflict} — "
             "the automaton and its lookahead sets disagree",
@@ -186,18 +364,35 @@ class LookaheadSensitiveGraph:
             state_id=conflict.state_id,
         )
 
-    @staticmethod
     def _reconstruct(
-        parents: dict[LASGVertex, LASGEdge], vertex: LASGVertex
+        self,
+        parents: dict[
+            tuple[int, Item, int], tuple[tuple[int, Item, int], Symbol | None]
+        ],
+        key: tuple[int, Item, int],
     ) -> list[LASGEdge]:
-        path: list[LASGEdge] = []
-        current = vertex
+        """Materialise the edge objects for the discovered path only."""
+        chain: list[tuple[tuple[int, Item, int], Symbol | None, tuple[int, Item, int]]]
+        chain = []
+        current = key
         while current in parents:
-            edge = parents[current]
-            path.append(edge)
-            current = edge.source
-        path.reverse()
-        return path
+            parent_key, symbol = parents[current]
+            chain.append((parent_key, symbol, current))
+            current = parent_key
+        chain.reverse()
+        view = self.automaton.terminal_table.view
+        vertices: dict[tuple[int, Item, int], LASGVertex] = {}
+
+        def vertex_of(k: tuple[int, Item, int]) -> LASGVertex:
+            vertex = vertices.get(k)
+            if vertex is None:
+                vertex = vertices[k] = LASGVertex(k[0], k[1], view(k[2]))
+            return vertex
+
+        return [
+            LASGEdge(vertex_of(source), symbol, vertex_of(target))
+            for source, symbol, target in chain
+        ]
 
 
 def path_states(path: list[LASGEdge]) -> frozenset[int]:

@@ -66,11 +66,17 @@ class _Frame:
 class NonunifyingBuilder:
     """Builds nonunifying counterexamples for an automaton's conflicts."""
 
-    def __init__(self, automaton: LALRAutomaton) -> None:
+    def __init__(
+        self,
+        automaton: LALRAutomaton,
+        graph: LookaheadSensitiveGraph | None = None,
+    ) -> None:
+        """*graph* lets a caller share one lookahead-sensitive graph (and
+        its cross-conflict memo tables) — the finder passes its own."""
         self.automaton = automaton
         self.analysis = automaton.analysis
         self.grammar = automaton.grammar
-        self.graph = LookaheadSensitiveGraph(automaton)
+        self.graph = graph if graph is not None else LookaheadSensitiveGraph(automaton)
 
     # ------------------------------------------------------------------ #
     # Public API

@@ -136,6 +136,16 @@ class UnifyingSearch:
         frontier: list[tuple[float, int, Configuration]] = [(0.0, counter, initial)]
         best_cost: dict[tuple, float] = {initial.key(): 0.0}
 
+        # Loop-local bindings: this loop runs once per explored
+        # configuration (tens of thousands per conflict on grammars like
+        # SQL.1), so global and attribute loads are paid for up front.
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        best_cost_get = best_cost.get
+        successors_of = self.generator.successors
+        max_cost = self.max_cost
+        infinity = float("inf")
+
         while frontier:
             stats.explored += 1
             budget.charge()
@@ -152,8 +162,8 @@ class UnifyingSearch:
                 stats.stopped_reason = "budget"
                 break
 
-            cost, _, config = heapq.heappop(frontier)
-            if cost > best_cost.get(config.key(), float("inf")):
+            cost, _, config = heappop(frontier)
+            if cost > best_cost_get(config.key(), infinity):
                 continue  # stale queue entry
 
             accepted = self._accept(config)
@@ -170,16 +180,16 @@ class UnifyingSearch:
                 )
                 return SearchResult(accepted, stats)
 
-            for _label, delta, successor in self.generator.successors(config):
+            for _label, delta, successor in successors_of(config):
                 new_cost = cost + delta
-                if self.max_cost is not None and new_cost > self.max_cost:
+                if max_cost is not None and new_cost > max_cost:
                     continue
                 key = successor.key()
-                if new_cost < best_cost.get(key, float("inf")):
+                if new_cost < best_cost_get(key, infinity):
                     best_cost[key] = new_cost
                     counter += 1
                     stats.enqueued += 1
-                    heapq.heappush(frontier, (new_cost, counter, successor))
+                    heappush(frontier, (new_cost, counter, successor))
         else:
             stats.exhausted = True
 

@@ -82,6 +82,10 @@ COUNTERS = [
     "automaton.items",
     "automaton.conflicts",
     "search.configurations.explored",
+    "lasg.vertices.materialized",
+    "lasg.vertices.estimated_full",
+    "lasg.successors.hit",
+    "lasg.successors.miss",
 ]
 
 
@@ -230,6 +234,73 @@ def compare_reports(
 
 
 # ---------------------------------------------------------------------- #
+# improved
+
+
+def assert_improved(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    targets: list[tuple[str, str]],
+    min_ratio: float = 1.5,
+) -> tuple[list[str], list[str]]:
+    """Check that each ``(grammar, phase)`` target got *faster* by ≥ ratio.
+
+    The inverse gate of :func:`compare_reports`: where ``compare`` fails
+    on regressions anywhere, ``improved`` fails unless specific phases
+    beat the baseline by at least ``min_ratio`` (calibration-normalised).
+    Used to lock an optimisation's win into CI so it cannot silently
+    erode back.
+    """
+    for report in (baseline, current):
+        if report.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported bench schema {report.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+    scale = baseline.get("calibration_s", 1.0) / max(
+        current.get("calibration_s", 1.0), 1e-9
+    )
+    failures: list[str] = []
+    lines: list[str] = [
+        f"calibration: baseline={baseline.get('calibration_s')}s "
+        f"current={current.get('calibration_s')}s scale={scale:.2f}",
+    ]
+    for grammar, phase in targets:
+        base_entry = baseline.get("grammars", {}).get(grammar)
+        curr_entry = current.get("grammars", {}).get(grammar)
+        if base_entry is None or curr_entry is None:
+            failures.append(f"{grammar}: missing from a report")
+            continue
+        base_value = (
+            base_entry["total_s"]
+            if phase == "total"
+            else base_entry.get("phases", {}).get(phase)
+        )
+        curr_value = (
+            curr_entry["total_s"]
+            if phase == "total"
+            else curr_entry.get("phases", {}).get(phase)
+        )
+        if base_value is None or curr_value is None:
+            failures.append(f"{grammar}/{phase}: missing from a report")
+            continue
+        normalised = curr_value * scale
+        ratio = base_value / max(normalised, 1e-9)
+        ok = ratio >= min_ratio
+        lines.append(
+            f"{grammar:14s} {phase:22s} {base_value:.4f}s -> {normalised:.4f}s "
+            f"speedup x{ratio:.2f} (required x{min_ratio}) "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"{grammar}/{phase}: only x{ratio:.2f} faster than baseline "
+                f"(required x{min_ratio})"
+            )
+    return failures, lines
+
+
+# ---------------------------------------------------------------------- #
 # cache-check
 
 
@@ -294,6 +365,21 @@ def main(argv: list[str] | None = None) -> int:
     cmp_p.add_argument("--threshold", type=float, default=2.0)
     cmp_p.add_argument("--min-delta", type=float, default=0.05)
 
+    imp_p = sub.add_parser(
+        "improved", help="assert specific phases beat a baseline by ≥ ratio"
+    )
+    imp_p.add_argument("baseline", type=Path)
+    imp_p.add_argument("current", type=Path)
+    imp_p.add_argument("--min-ratio", type=float, default=1.5)
+    imp_p.add_argument(
+        "--target",
+        action="append",
+        default=None,
+        metavar="GRAMMAR:PHASE",
+        help="grammar:phase pair that must have improved (repeatable); "
+        "default: C.2:explain/lasg Java.3:explain/lasg",
+    )
+
     chk_p = sub.add_parser("cache-check", help="automaton-cache speedup gate")
     chk_p.add_argument("--grammar", default="Java.1")
     chk_p.add_argument("--min-speedup", type=float, default=2.0)
@@ -331,6 +417,25 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {failure}", file=sys.stderr)
             return 1
         print("\nno regressions beyond threshold")
+        return 0
+
+    if args.command == "improved":
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+        raw_targets = args.target or ["C.2:explain/lasg", "Java.3:explain/lasg"]
+        targets = [
+            (entry.split(":", 1)[0], entry.split(":", 1)[1]) for entry in raw_targets
+        ]
+        failures, lines = assert_improved(
+            baseline, current, targets, min_ratio=args.min_ratio
+        )
+        print("\n".join(lines))
+        if failures:
+            print("\nrequired improvements not met:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("\nall required improvements hold")
         return 0
 
     return cache_check(grammar_name=args.grammar, min_speedup=args.min_speedup)

@@ -164,6 +164,33 @@ class MetricsCollector:
             collector.counters[name] = int(value)
         return collector
 
+    def hotspots(self, n: int = 5) -> list[tuple[str, float, float]]:
+        """Top-*n* spans by **exclusive** time, descending.
+
+        Exclusive time is a span's total minus the totals of its direct
+        child spans — the time spent in the phase *itself*, which is what
+        a regression hunt needs (``explain`` always dominates inclusively
+        because everything nests under it). Returns ``(path,
+        exclusive_s, total_s)`` triples; spans whose exclusive time
+        rounds to zero are skipped.
+        """
+        exclusive: dict[str, float] = {}
+        for path, (_count, total) in self.spans.items():
+            exclusive[path] = exclusive.get(path, 0.0) + total
+            if "/" in path:
+                parent = path.rsplit("/", 1)[0]
+                exclusive[parent] = exclusive.get(parent, 0.0) - total
+        ranked = sorted(
+            (
+                (path, max(seconds, 0.0), self.spans[path][1])
+                for path, seconds in exclusive.items()
+                if seconds > 1e-9
+            ),
+            key=lambda entry: entry[1],
+            reverse=True,
+        )
+        return ranked[:n]
+
     def render(self) -> str:
         """A human-readable profile: spans as an indented tree, counters."""
         lines = ["phase spans (count, total):"]

@@ -1,0 +1,114 @@
+"""Tests for the bitmask lookahead representation.
+
+The contract under test: a :class:`LookaheadBitset` is observationally a
+``frozenset`` of terminals — equality, hashing, membership, set algebra,
+and pickling all agree — while iteration is deterministic (terminal name
+order) so reports render identically run over run.
+"""
+
+import pickle
+
+import pytest
+
+from repro.automaton.bitset import TerminalTable
+from repro.grammar import END_OF_INPUT, Terminal
+
+
+@pytest.fixture
+def table():
+    return TerminalTable([Terminal("b"), Terminal("a"), Terminal("c")])
+
+
+class TestTerminalTable:
+    def test_end_of_input_always_present(self):
+        table = TerminalTable([])
+        assert END_OF_INPUT in table.index
+        assert table.bit_of(END_OF_INPUT) != 0
+
+    def test_terminals_sorted_by_name(self, table):
+        names = [t.name for t in table.terminals]
+        assert names == sorted(names)
+
+    def test_bit_of_unknown_terminal_is_zero(self, table):
+        # Doctored conflicts reference terminals outside the grammar; a
+        # zero bit makes every membership test false instead of raising.
+        assert table.bit_of(Terminal("NO_SUCH_TERMINAL")) == 0
+
+    def test_mask_of_skips_unknown_terminals(self, table):
+        known = table.mask_of([Terminal("a")])
+        mixed = table.mask_of([Terminal("a"), Terminal("NO_SUCH_TERMINAL")])
+        assert known == mixed
+
+    def test_mask_round_trip(self, table):
+        terminals = {Terminal("a"), Terminal("c")}
+        mask = table.mask_of(terminals)
+        assert set(table.iter_mask(mask)) == terminals
+
+    def test_views_are_interned(self, table):
+        mask = table.mask_of([Terminal("a")])
+        assert table.view(mask) is table.view(mask)
+
+    def test_for_grammar_covers_grammar_terminals(self, expr_grammar):
+        table = TerminalTable.for_grammar(expr_grammar)
+        for terminal in expr_grammar.terminals:
+            assert table.bit_of(terminal) != 0
+
+
+class TestLookaheadBitset:
+    def test_equals_frozenset(self, table):
+        view = table.view(table.mask_of([Terminal("a"), Terminal("c")]))
+        assert view == frozenset({Terminal("a"), Terminal("c")})
+        assert frozenset({Terminal("a"), Terminal("c")}) == view
+        assert view != frozenset({Terminal("a")})
+
+    def test_hash_matches_frozenset(self, table):
+        view = table.view(table.mask_of([Terminal("a"), END_OF_INPUT]))
+        reference = frozenset({Terminal("a"), END_OF_INPUT})
+        assert hash(view) == hash(reference)
+        # Interchangeable as dict keys / set members.
+        assert len({view, reference}) == 1
+
+    def test_membership_and_len(self, table):
+        view = table.view(table.mask_of([Terminal("b")]))
+        assert Terminal("b") in view
+        assert Terminal("a") not in view
+        assert Terminal("NO_SUCH_TERMINAL") not in view
+        assert len(view) == 1
+
+    def test_iteration_in_name_order(self, table):
+        view = table.view(
+            table.mask_of([Terminal("c"), Terminal("a"), Terminal("b")])
+        )
+        assert [t.name for t in view] == sorted(t.name for t in view)
+
+    def test_set_algebra_same_table(self, table):
+        a = table.view(table.mask_of([Terminal("a"), Terminal("b")]))
+        b = table.view(table.mask_of([Terminal("b"), Terminal("c")]))
+        assert a | b == frozenset(
+            {Terminal("a"), Terminal("b"), Terminal("c")}
+        )
+        assert a & b == frozenset({Terminal("b")})
+        assert a - b == frozenset({Terminal("a")})
+        assert a <= (a | b)
+        assert not (a <= b)
+
+    def test_set_algebra_against_frozenset(self, table):
+        view = table.view(table.mask_of([Terminal("a")]))
+        other = frozenset({Terminal("b")})
+        assert view | other == frozenset({Terminal("a"), Terminal("b")})
+        assert view & other == frozenset()
+        assert view.isdisjoint(other)
+
+    def test_pickles_to_plain_frozenset(self, table):
+        # Parallel workers ship lookaheads across process boundaries; the
+        # wire form is a plain frozenset so no table travels with it.
+        view = table.view(table.mask_of([Terminal("a"), Terminal("c")]))
+        clone = pickle.loads(pickle.dumps(view))
+        assert type(clone) is frozenset
+        assert clone == view
+
+    def test_empty_view(self, table):
+        view = table.view(0)
+        assert len(view) == 0
+        assert view == frozenset()
+        assert list(view) == []

@@ -161,3 +161,233 @@ class TestFullAutomatonFormat:
         assert [safe_format_report(r) for r in fresh.reports] == [
             safe_format_report(r) for r in decoded.reports
         ]
+
+
+def _encode_v1(automaton):
+    """Re-encode *automaton* in the legacy v1 document shape.
+
+    The v2 writer replaced this layout (name-keyed transitions and
+    tables, lookahead pool of terminal-code *lists*); the reader keeps a
+    v1 path so pre-upgrade cache entries decode instead of erroring.
+    This helper reconstructs a faithful v1 document to exercise it.
+    """
+    from repro.automaton.tables import Accept, ErrorAction, Reduce, Shift
+    from repro.grammar.emit import dump_grammar
+
+    grammar = automaton.grammar
+    tables = automaton.tables
+    table = automaton.terminal_table
+    terminals = [t.name for t in table.terminals]
+    code_of = {t: i for i, t in enumerate(table.terminals)}
+
+    pool_index: dict[tuple[int, ...], int] = {}
+    pool: list[list[int]] = []
+    states = []
+    lookahead_rows = []
+    for state in automaton.states:
+        row = []
+        for item in state.items:
+            codes = tuple(
+                sorted(
+                    code_of[t]
+                    for t in automaton.lookaheads[(state.id, item)]
+                )
+            )
+            index = pool_index.get(codes)
+            if index is None:
+                index = pool_index[codes] = len(pool)
+                pool.append(list(codes))
+            row.append(index)
+        lookahead_rows.append(row)
+        states.append(
+            {
+                "k": len(state.kernel),
+                "items": [
+                    [item.production.index, item.dot] for item in state.items
+                ],
+                "trans": [
+                    [symbol.name, target.id]
+                    for symbol, target in state.transitions.items()
+                ],
+            }
+        )
+
+    def encode_action(action):
+        if isinstance(action, Shift):
+            return ["s", action.state_id]
+        if isinstance(action, Reduce):
+            return ["r", action.production.index]
+        if isinstance(action, Accept):
+            return ["a"]
+        assert isinstance(action, ErrorAction)
+        return ["e"]
+
+    return {
+        "full_version": 1,
+        "grammar": grammar.name,
+        "grammar_dsl": dump_grammar(grammar),
+        "terminals": terminals,
+        "la_pool": pool,
+        "states": states,
+        "lookaheads": lookahead_rows,
+        "action": [
+            {t.name: encode_action(a) for t, a in row.items()}
+            for row in tables.action
+        ],
+        "goto": [
+            {nt.name: target for nt, target in row.items()}
+            for row in tables.goto
+        ],
+        "conflicts": [
+            {
+                "state": c.state_id,
+                "terminal": c.terminal.name,
+                "kind": c.kind.value,
+                "reduce": [c.reduce_item.production.index, c.reduce_item.dot],
+                "other": [c.other_item.production.index, c.other_item.dot],
+            }
+            for c in automaton.conflicts
+        ],
+        "resolved_count": tables.resolved_count,
+        "used_precedence": sorted(t.name for t in tables.used_precedence),
+    }
+
+
+class TestFormatV2:
+    """Specifics of the v2 layout: pooled int masks, flat coded tables."""
+
+    def _payload(self, grammar):
+        from repro.automaton.serialize import automaton_to_dict
+
+        automaton = build_lalr(grammar)
+        _ = automaton.tables
+        return automaton, automaton_to_dict(automaton)
+
+    def test_version_marker_is_2(self, figure1):
+        from repro.automaton.serialize import FULL_FORMAT_VERSION
+
+        _, payload = self._payload(figure1)
+        assert FULL_FORMAT_VERSION == 2
+        assert payload["full_version"] == 2
+
+    def test_lookahead_pool_holds_int_masks(self, figure1):
+        automaton, payload = self._payload(figure1)
+        assert payload["la_pool"]
+        assert all(isinstance(mask, int) for mask in payload["la_pool"])
+        # Pool entries are deduplicated masks over the terminal table.
+        assert len(set(payload["la_pool"])) == len(payload["la_pool"])
+        pool = payload["la_pool"]
+        for state, row in zip(automaton.states, payload["lookaheads"]):
+            for item, pool_id in zip(state.items, row):
+                assert pool[pool_id] == automaton.lookahead_mask(
+                    state.id, item
+                )
+
+    def test_transitions_and_tables_are_flat_coded(self, figure1):
+        _, payload = self._payload(figure1)
+        for state in payload["states"]:
+            assert all(isinstance(v, int) for v in state["items"])
+            assert all(isinstance(v, int) for v in state["trans"])
+            assert len(state["items"]) % 2 == 0
+            assert len(state["trans"]) % 2 == 0
+        for row in payload["action"]:
+            assert all(isinstance(v, int) for v in row)
+            assert len(row) % 3 == 0
+        for row in payload["goto"]:
+            assert all(isinstance(v, int) for v in row)
+            assert len(row) % 2 == 0
+
+    def test_terminal_table_round_trips(self, figure1):
+        from repro.automaton.serialize import automaton_from_dict
+
+        automaton, payload = self._payload(figure1)
+        loaded = automaton_from_dict(payload)
+        assert loaded.terminal_table.terminals == (
+            automaton.terminal_table.terminals
+        )
+        assert loaded.lookahead_masks == automaton.lookahead_masks
+
+
+class TestV1Fallback:
+    """Legacy v1 documents still decode; stale cache entries miss cleanly."""
+
+    def test_v1_document_decodes(self, figure1):
+        from repro.automaton.serialize import automaton_from_dict
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        loaded = automaton_from_dict(_encode_v1(automaton))
+        assert loaded.lookaheads == automaton.lookaheads
+        assert loaded.tables.action == automaton.tables.action
+        assert [str(c) for c in loaded.conflicts] == [
+            str(c) for c in automaton.conflicts
+        ]
+
+    def test_v1_document_drives_the_finder(self, figure1):
+        from repro.core import CounterexampleFinder
+        from repro.core.report import safe_format_report
+
+        from repro.automaton.serialize import automaton_from_dict
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        loaded = automaton_from_dict(_encode_v1(automaton))
+        fresh = CounterexampleFinder(automaton).explain_all()
+        decoded = CounterexampleFinder(loaded).explain_all()
+        assert [safe_format_report(r) for r in fresh.reports] == [
+            safe_format_report(r) for r in decoded.reports
+        ]
+
+    def test_v1_cache_entry_is_a_clean_miss(self, figure1, tmp_path):
+        """Pre-upgrade cache entries live under v1 fingerprints (the
+        format version is folded into the key), so after the bump they
+        are unreachable: a miss and a rebuild, never an error."""
+        import hashlib
+        import json
+
+        from repro.grammar.emit import dump_grammar
+        from repro.perf.cache import AutomatonCache, build_lalr_cached
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        # Recreate the v1-era key: same payload recipe, version 1.
+        canonical = dump_grammar(figure1)
+        v1_key = hashlib.sha256(
+            f"repro.automaton/1\n{canonical}".encode()
+        ).hexdigest()
+        cache = AutomatonCache(tmp_path)
+        (tmp_path / f"{v1_key}.json").write_text(
+            json.dumps(_encode_v1(automaton))
+        )
+
+        rebuilt = build_lalr_cached(figure1, cache)
+        assert cache.misses == 1 and cache.hits == 0
+        assert len(rebuilt.states) == len(automaton.states)
+        # The rebuild was stored under the v2 key; next call hits.
+        assert build_lalr_cached(figure1, cache) is not None
+        assert cache.hits == 1
+
+    def test_unknown_version_cache_entry_is_a_clean_miss(
+        self, figure1, tmp_path
+    ):
+        """Even a corrupt/foreign entry *at the current key* is a miss."""
+        import json
+
+        from repro.automaton.serialize import automaton_to_dict
+        from repro.perf.cache import (
+            AutomatonCache,
+            build_lalr_cached,
+            grammar_fingerprint,
+        )
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        payload = automaton_to_dict(automaton)
+        payload["full_version"] = 99
+        cache = AutomatonCache(tmp_path)
+        (tmp_path / f"{grammar_fingerprint(figure1)}.json").write_text(
+            json.dumps(payload)
+        )
+        rebuilt = build_lalr_cached(figure1, cache)
+        assert cache.misses == 1
+        assert len(rebuilt.states) == len(automaton.states)

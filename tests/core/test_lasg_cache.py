@@ -1,0 +1,98 @@
+"""Tests for the lazy LASG's successor memo and materialization counters.
+
+The lookahead-sensitive graph is never built whole: vertices materialize
+on demand during the shortest-path search, and the expanded successor
+lists are memoized in a bounded LRU shared by every conflict explained
+through the same graph instance (the finder keeps one per automaton).
+"""
+
+import pytest
+
+from repro.automaton import build_lalr
+from repro.core import CounterexampleFinder
+from repro.core.lasg import LookaheadSensitiveGraph
+from repro.perf import metrics
+
+
+@pytest.fixture
+def conflicted(figure1):
+    automaton = build_lalr(figure1)
+    assert automaton.conflicts
+    return automaton
+
+
+class TestSuccessorCache:
+    def test_cache_populates_and_is_shared_across_conflicts(self, conflicted):
+        graph = LookaheadSensitiveGraph(conflicted)
+        info = graph.cache_info()
+        assert info["entries"] == 0 and info["hits"] == 0
+
+        for conflict in conflicted.conflicts:
+            graph.shortest_path(conflict)
+        after_first = graph.cache_info()
+        assert after_first["entries"] > 0
+        assert after_first["misses"] > 0
+
+        # Re-explaining the same conflicts reuses the memo: only hits grow.
+        for conflict in conflicted.conflicts:
+            graph.shortest_path(conflict)
+        after_second = graph.cache_info()
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] > after_first["hits"]
+
+    def test_cache_is_bounded_with_lru_eviction(self, conflicted):
+        graph = LookaheadSensitiveGraph(conflicted, max_cache_entries=16)
+        for conflict in conflicted.conflicts:
+            graph.shortest_path(conflict)
+        info = graph.cache_info()
+        assert info["max_entries"] == 16
+        assert info["entries"] <= 16
+        assert info["evictions"] > 0
+
+    def test_bounded_cache_returns_same_paths(self, conflicted):
+        unbounded = LookaheadSensitiveGraph(conflicted)
+        tiny = LookaheadSensitiveGraph(conflicted, max_cache_entries=4)
+        for conflict in conflicted.conflicts:
+            a = unbounded.shortest_path(conflict)
+            b = tiny.shortest_path(conflict)
+            assert [str(edge) for edge in a] == [str(edge) for edge in b]
+
+    def test_clear_successor_cache(self, conflicted):
+        graph = LookaheadSensitiveGraph(conflicted)
+        graph.shortest_path(conflicted.conflicts[0])
+        assert graph.cache_info()["entries"] > 0
+        graph.clear_successor_cache()
+        assert graph.cache_info()["entries"] == 0
+
+
+class TestMaterializationCounters:
+    def test_materialized_is_a_fraction_of_the_estimate(self, conflicted):
+        with metrics.collecting() as collector:
+            graph = LookaheadSensitiveGraph(conflicted)
+            for conflict in conflicted.conflicts:
+                graph.shortest_path(conflict)
+        materialized = collector.counters["lasg.vertices.materialized"]
+        estimated = collector.counters["lasg.vertices.estimated_full"]
+        assert 0 < materialized < estimated
+
+    def test_successor_cache_counters_mirrored_to_metrics(self, conflicted):
+        with metrics.collecting() as collector:
+            graph = LookaheadSensitiveGraph(conflicted)
+            for conflict in conflicted.conflicts:
+                graph.shortest_path(conflict)
+                graph.shortest_path(conflict)
+        assert collector.counters["lasg.successors.miss"] > 0
+        assert collector.counters["lasg.successors.hit"] > 0
+
+
+class TestFinderScoping:
+    def test_finder_shares_one_graph_with_the_nonunifying_builder(
+        self, conflicted
+    ):
+        finder = CounterexampleFinder(conflicted)
+        assert finder.nonunifying.graph is finder.graph
+
+    def test_two_finders_do_not_share_memo_state(self, figure1):
+        a = CounterexampleFinder(build_lalr(figure1))
+        b = CounterexampleFinder(build_lalr(figure1))
+        assert a.graph is not b.graph

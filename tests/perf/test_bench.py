@@ -135,3 +135,115 @@ class TestCli:
         inflated = tmp_path / "inflated.json"
         inflated.write_text(json.dumps(report))
         assert main(["compare", str(out), str(inflated)]) == 1
+
+
+class TestImproved:
+    """The inverse gate: required speedups must hold, not just no-regress."""
+
+    def _reports(self, tiny_report, speedup):
+        from repro.perf.bench import assert_improved
+
+        faster = copy.deepcopy(tiny_report)
+        for entry in faster["grammars"].values():
+            entry["total_s"] /= speedup
+            entry["phases"] = {
+                phase: value / speedup
+                for phase, value in entry["phases"].items()
+            }
+        return assert_improved(
+            tiny_report,
+            faster,
+            targets=[("figure7", "explain/lasg"), ("figure7", "total")],
+            min_ratio=1.5,
+        )
+
+    def test_sufficient_speedup_passes(self, tiny_report):
+        failures, lines = self._reports(tiny_report, speedup=2.0)
+        assert failures == []
+        assert any("OK" in line for line in lines)
+
+    def test_insufficient_speedup_fails(self, tiny_report):
+        failures, _ = self._reports(tiny_report, speedup=1.1)
+        assert any("explain/lasg" in failure for failure in failures)
+        assert any("figure7/total" in failure for failure in failures)
+
+    def test_unchanged_report_fails_the_gate(self, tiny_report):
+        from repro.perf.bench import assert_improved
+
+        failures, _ = assert_improved(
+            tiny_report,
+            tiny_report,
+            targets=[("figure7", "explain/lasg")],
+            min_ratio=1.5,
+        )
+        assert failures
+
+    def test_calibration_normalisation(self, tiny_report):
+        from repro.perf.bench import assert_improved
+
+        # Identical timings measured on a machine calibrated 2x slower
+        # normalise to a 2x speedup.
+        slower_machine = copy.deepcopy(tiny_report)
+        slower_machine["calibration_s"] = tiny_report["calibration_s"] * 2
+        failures, _ = assert_improved(
+            tiny_report,
+            slower_machine,
+            targets=[("figure7", "total")],
+            min_ratio=1.5,
+        )
+        assert failures == []
+
+    def test_missing_target_fails(self, tiny_report):
+        from repro.perf.bench import assert_improved
+
+        failures, _ = assert_improved(
+            tiny_report,
+            tiny_report,
+            targets=[("nope", "total")],
+            min_ratio=1.5,
+        )
+        assert any("nope" in failure for failure in failures)
+
+    def test_schema_mismatch_rejected(self, tiny_report):
+        from repro.perf.bench import assert_improved
+
+        with pytest.raises(ValueError):
+            assert_improved({"schema": "other/1"}, tiny_report, targets=[])
+
+    def test_cli_improved_gate(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(tiny := run_suite(["figure7"], repeats=1)))
+        faster = copy.deepcopy(tiny)
+        for entry in faster["grammars"].values():
+            entry["phases"] = {
+                phase: value / 3 for phase, value in entry["phases"].items()
+            }
+        curr = tmp_path / "curr.json"
+        curr.write_text(json.dumps(faster))
+        assert (
+            main(
+                [
+                    "improved",
+                    str(base),
+                    str(curr),
+                    "--target",
+                    "figure7:explain/lasg",
+                ]
+            )
+            == 0
+        )
+        assert "OK" in capsys.readouterr().out
+        # The unimproved report fails the same gate.
+        assert (
+            main(
+                [
+                    "improved",
+                    str(base),
+                    str(base),
+                    "--target",
+                    "figure7:explain/lasg",
+                ]
+            )
+            == 1
+        )
+        assert "required improvements not met" in capsys.readouterr().err

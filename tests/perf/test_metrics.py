@@ -155,3 +155,56 @@ class TestInstrumentation:
         assert collector.span_count("explain") == summary.num_conflicts
         assert collector.span_count("explain/search") >= 1
         assert collector.counters["search.configurations.explored"] > 0
+
+
+class TestHotspots:
+    def _fabricated(self):
+        # explain: 1.0s total, 0.7s in children -> 0.3s exclusive.
+        collector = MetricsCollector()
+        collector.spans = {
+            "explain": [2, 1.0],
+            "explain/lasg": [2, 0.5],
+            "explain/search": [2, 0.2],
+            "explain/search/expand": [10, 0.15],
+            "automaton": [1, 0.1],
+        }
+        return collector
+
+    def test_exclusive_time_subtracts_direct_children_only(self):
+        ranked = dict(
+            (path, exclusive)
+            for path, exclusive, _total in self._fabricated().hotspots(10)
+        )
+        assert ranked["explain/lasg"] == pytest.approx(0.5)
+        assert ranked["explain"] == pytest.approx(0.3)
+        # search keeps only what its own child did not consume.
+        assert ranked["explain/search"] == pytest.approx(0.05)
+        assert ranked["explain/search/expand"] == pytest.approx(0.15)
+        assert ranked["automaton"] == pytest.approx(0.1)
+
+    def test_sorted_descending_and_truncated(self):
+        top = self._fabricated().hotspots(2)
+        assert len(top) == 2
+        assert [path for path, _e, _t in top] == ["explain/lasg", "explain"]
+        exclusives = [exclusive for _p, exclusive, _t in top]
+        assert exclusives == sorted(exclusives, reverse=True)
+
+    def test_inclusive_total_reported_alongside(self):
+        top = {path: total for path, _e, total in self._fabricated().hotspots(10)}
+        assert top["explain"] == pytest.approx(1.0)
+
+    def test_children_exceeding_parent_clamp_to_zero(self):
+        collector = MetricsCollector()
+        collector.spans = {"a": [1, 0.1], "a/b": [1, 0.2]}
+        ranked = dict((p, e) for p, e, _t in collector.hotspots(10))
+        assert "a" not in ranked  # negative exclusive time is dropped
+        assert ranked["a/b"] == pytest.approx(0.2)
+
+    def test_real_profile_surfaces_lasg(self, figure1):
+        from repro.core import CounterexampleFinder
+
+        with metrics.collecting() as collector:
+            CounterexampleFinder(figure1).explain_all()
+        paths = [path for path, _e, _t in collector.hotspots(10)]
+        assert paths  # something was hot
+        assert any(path.startswith("explain") for path in paths)
