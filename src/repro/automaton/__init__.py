@@ -1,6 +1,20 @@
 """LR automata: LR(0) skeleton, LALR(1)/LR(1)/SLR(1) lookaheads, tables."""
 
+from repro.automaton.compaction import compact_rows, compaction_stats, restore_rows
 from repro.automaton.conflicts import Conflict, ConflictKind
+from repro.automaton.ielr import (
+    ConflictProvenance,
+    IELRAutomaton,
+    IELRState,
+    ProvenanceVerdict,
+    StateSplit,
+    annotate_provenance,
+    build_automaton,
+    build_ielr,
+    canonical_conflict_signatures,
+    classify_conflicts,
+    conflict_signatures,
+)
 from repro.automaton.items import Item, end_item, start_item
 from repro.automaton.lalr import LALRAutomaton, build_lalr, compute_lalr_lookaheads
 from repro.automaton.lookups import ReverseLookups
@@ -32,7 +46,10 @@ __all__ = [
     "Action",
     "Conflict",
     "ConflictKind",
+    "ConflictProvenance",
     "ErrorAction",
+    "IELRAutomaton",
+    "IELRState",
     "Item",
     "LALRAutomaton",
     "LR0Automaton",
@@ -40,14 +57,24 @@ __all__ = [
     "LR1Automaton",
     "LR1State",
     "ParseTables",
+    "ProvenanceVerdict",
     "Reduce",
     "ReverseLookups",
     "Shift",
+    "StateSplit",
+    "annotate_provenance",
     "automaton_from_dict",
     "automaton_to_dict",
+    "build_automaton",
+    "build_ielr",
     "build_lalr",
     "build_tables",
+    "canonical_conflict_signatures",
+    "classify_conflicts",
     "closure",
+    "compact_rows",
+    "compaction_stats",
+    "conflict_signatures",
     "compute_lalr_lookaheads",
     "compute_slr_lookaheads",
     "count_slr_conflicts",
@@ -57,6 +84,7 @@ __all__ = [
     "load_automaton",
     "load_tables",
     "lr1_closure",
+    "restore_rows",
     "start_item",
     "tables_from_dict",
     "tables_to_dict",

@@ -165,6 +165,11 @@ class LALRAutomaton:
     parse tables, and the conflict list.
     """
 
+    #: Which table construction produced this automaton. The minimal/
+    #: canonical LR(1) subclass (:mod:`repro.automaton.ielr`) and the
+    #: serialization decoder override this per instance.
+    algorithm: str = "lalr"
+
     def __init__(self, grammar: Grammar) -> None:
         self.grammar = grammar
         self.terminal_table = TerminalTable.for_grammar(grammar)

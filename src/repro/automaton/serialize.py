@@ -27,11 +27,19 @@ sets are pooled *int bitmasks* over the automaton's name-sorted
 :class:`~repro.automaton.bitset.TerminalTable` (decode is a dict fill,
 no set construction), transitions are flat ``[symbol code, target id]``
 arrays over a shared symbol list, and ACTION/GOTO rows are flat coded
-triples/pairs instead of name-keyed objects. A v1 *reader* is kept so
-documents produced by older builds still load; v1 entries in the
-content-addressed cache (:mod:`repro.perf.cache`) are simply never found
-— the format version is folded into the cache key, so the bump turns
-them into clean misses, not errors.
+triples/pairs instead of name-keyed objects.
+
+Format **v3** keeps the v2 layout but adds the construction algorithm
+(``"algorithm"``: lalr/ielr/lr1 — minimal and canonical LR(1) automata
+from :mod:`repro.automaton.ielr` serialize through the same writer) and
+compresses ACTION/GOTO with the row/column equivalence-class encoding of
+:mod:`repro.automaton.compaction` — identical columns collapse into one
+class and identical re-keyed rows are interned, which is where most of a
+big automaton's serialized bytes live. Readers for v1 **and** v2
+documents are kept so older dumps still load; stale cache entries
+(:mod:`repro.perf.cache`) are simply never found — the format version is
+folded into the cache key, so the bump turns them into clean misses, not
+errors.
 """
 
 from __future__ import annotations
@@ -40,6 +48,12 @@ import json
 from typing import Any
 
 from repro.automaton.bitset import TerminalTable
+from repro.automaton.compaction import (
+    compact_rows,
+    expand_rows,
+    intern_rows,
+    restore_rows,
+)
 from repro.automaton.conflicts import Conflict, ConflictKind
 from repro.automaton.items import Item
 from repro.automaton.lalr import LALRAutomaton
@@ -52,7 +66,12 @@ FORMAT_VERSION = 1
 #: Version of the full-automaton format. Bump on any change to the
 #: encoding below; :mod:`repro.perf.cache` folds it into the cache key,
 #: so stale cache entries self-invalidate.
-FULL_FORMAT_VERSION = 2
+FULL_FORMAT_VERSION = 3
+
+#: The flat (uncompacted) layout, still writable via
+#: ``automaton_to_dict(automaton, compact=False)`` for size comparisons
+#: and format regression tests.
+FLAT_FORMAT_VERSION = 2
 
 #: ACTION opcodes of the v2 flat encoding.
 _OP_SHIFT, _OP_REDUCE, _OP_ACCEPT, _OP_ERROR = 0, 1, 2, 3
@@ -176,15 +195,23 @@ def _encode_full_action(action: Action) -> list[Any]:
     return ["e"]
 
 
-def automaton_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
-    """A JSON-compatible v2 snapshot of the *whole* automaton.
+def automaton_to_dict(
+    automaton: LALRAutomaton, compact: bool = True
+) -> dict[str, Any]:
+    """A JSON-compatible snapshot of the *whole* automaton.
 
     Captures the grammar (as DSL text — :func:`repro.grammar.emit.dump_grammar`
     round-trips production order, start symbol, and precedence), the
-    state graph with item sets and flat coded transitions, the pooled
-    bitmask lookahead function over the automaton's terminal table, and
-    the fully built parse tables including unresolved conflicts. Parse
-    tables are forced if not yet built.
+    construction algorithm, the state graph with item sets and flat
+    coded transitions, the pooled bitmask lookahead function over the
+    automaton's terminal table, and the fully built parse tables
+    including unresolved conflicts. Parse tables are forced if not yet
+    built.
+
+    With *compact* (the default) ACTION/GOTO are emitted v3-style
+    through :mod:`repro.automaton.compaction`; ``compact=False`` writes
+    the flat v2 layout instead — byte-for-byte larger, used by the bench
+    report to measure the compaction win and by format regression tests.
     """
     grammar = automaton.grammar
     tables = automaton.tables  # force, so conflicts are captured
@@ -253,17 +280,33 @@ def automaton_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
             flat.extend((code_of(nonterminal), target))
         return flat
 
-    return {
-        "full_version": FULL_FORMAT_VERSION,
+    action_rows = [encode_action_row(row) for row in tables.action]
+    goto_rows = [encode_goto_row(row) for row in tables.goto]
+    if compact:
+        action_out: Any = compact_rows(action_rows, 3, len(table.terminals))
+        goto_out: Any = compact_rows(goto_rows, 2, len(symbol_names))
+        # Whole-row interning for the remaining per-state vectors:
+        # lookahead-pool rows and transition rows repeat heavily (half
+        # or more of the states of a big grammar share one).
+        lookaheads_out: Any = intern_rows(lookahead_rows)
+        trans_out = intern_rows([encoded.pop("trans") for encoded in states])
+    else:
+        action_out, goto_out = action_rows, goto_rows
+        lookaheads_out = lookahead_rows
+        trans_out = None
+
+    document = {
+        "full_version": FULL_FORMAT_VERSION if compact else FLAT_FORMAT_VERSION,
+        "algorithm": automaton.algorithm,
         "grammar": grammar.name,
         "grammar_dsl": dump_grammar(grammar),
         "terminals": [t.name for t in table.terminals],
         "symbols": symbol_names,
         "states": states,
         "la_pool": pool,
-        "lookaheads": lookahead_rows,
-        "action": [encode_action_row(row) for row in tables.action],
-        "goto": [encode_goto_row(row) for row in tables.goto],
+        "lookaheads": lookaheads_out,
+        "action": action_out,
+        "goto": goto_out,
         "conflicts": [
             {
                 "state": c.state_id,
@@ -277,6 +320,9 @@ def automaton_to_dict(automaton: LALRAutomaton) -> dict[str, Any]:
         "resolved_count": tables.resolved_count,
         "used_precedence": sorted(str(t) for t in tables.used_precedence),
     }
+    if trans_out is not None:
+        document["trans"] = trans_out
+    return document
 
 
 def _build_states(
@@ -348,6 +394,9 @@ def _assemble(
     automaton.lr0 = lr0
     automaton.terminal_table = terminal_table
     automaton.lookahead_masks = lookahead_masks
+    # Documents older than v3 carry no algorithm field; they were all
+    # LALR by construction.
+    automaton.algorithm = data.get("algorithm", "lalr")
     # Pre-seed the lazily built tables; ``analysis`` and the set-like
     # ``lookaheads`` views stay lazy.
     automaton.__dict__["tables"] = tables
@@ -417,14 +466,14 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
     production indices by the emitter's round-trip guarantee); states,
     transitions, lookahead masks, and tables are rebuilt directly,
     skipping LR(0) construction, the lookahead fixpoint, and table
-    building. Both the current v2 format and legacy v1 documents decode;
-    any other version raises ``ValueError`` (which the automaton cache
-    treats as a miss).
+    building. The current v3 format (compacted tables), the flat v2
+    layout, and legacy v1 documents all decode; any other version raises
+    ``ValueError`` (which the automaton cache treats as a miss).
     """
     version = data.get("full_version")
     if version == 1:
         return _automaton_from_dict_v1(data)
-    if version != FULL_FORMAT_VERSION:
+    if version not in (FLAT_FORMAT_VERSION, FULL_FORMAT_VERSION):
         raise ValueError(f"unsupported full-automaton format version {version!r}")
 
     from repro.grammar.dsl import load_grammar
@@ -442,9 +491,14 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
     pool = [int(mask) for mask in data["la_pool"]]
 
     states = _build_states(data, productions, flat_items=True)
+    if version == FULL_FORMAT_VERSION:
+        lookahead_rows = expand_rows(data["lookaheads"])
+        trans_rows = expand_rows(data["trans"])
+    else:
+        lookahead_rows = data["lookaheads"]
+        trans_rows = [encoded["trans"] for encoded in data["states"]]
     lookahead_masks: dict[tuple[int, Item], int] = {}
-    for state, encoded, row in zip(states, data["states"], data["lookaheads"]):
-        trans = encoded["trans"]
+    for state, trans, row in zip(states, trans_rows, lookahead_rows):
         transitions = state.transitions
         for i in range(0, len(trans), 2):
             transitions[symbols[trans[i]]] = states[trans[i + 1]]
@@ -475,9 +529,15 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
             row[symbol] = flat[i + 1]
         return row
 
+    if version == FULL_FORMAT_VERSION:
+        action_rows = restore_rows(data["action"], 3)
+        goto_rows = restore_rows(data["goto"], 2)
+    else:
+        action_rows, goto_rows = data["action"], data["goto"]
+
     tables = ParseTables(
-        action=[decode_action_row(flat) for flat in data["action"]],
-        goto=[decode_goto_row(flat) for flat in data["goto"]],
+        action=[decode_action_row(flat) for flat in action_rows],
+        goto=[decode_goto_row(flat) for flat in goto_rows],
         conflicts=_decode_conflicts(data, productions),
         resolved_count=data.get("resolved_count", 0),
         used_precedence=frozenset(
@@ -487,10 +547,12 @@ def automaton_from_dict(data: dict[str, Any]) -> LALRAutomaton:
     return _assemble(data, grammar, states, terminal_table, lookahead_masks, tables)
 
 
-def dump_automaton(automaton: LALRAutomaton) -> str:
+def dump_automaton(automaton: LALRAutomaton, compact: bool = True) -> str:
     """Serialize the full automaton to deterministic JSON text."""
     return json.dumps(
-        automaton_to_dict(automaton), sort_keys=True, separators=(",", ":")
+        automaton_to_dict(automaton, compact=compact),
+        sort_keys=True,
+        separators=(",", ":"),
     )
 
 

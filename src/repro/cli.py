@@ -16,9 +16,16 @@ import json
 import sys
 import time
 
-from repro.automaton import build_lalr
+from repro.automaton import build_automaton
 from repro.core import CounterexampleFinder, safe_format_report, summary_to_json
-from repro.grammar import GrammarError, load_grammar_file
+from repro.grammar import GrammarError, load_grammar_file, normalize_algorithm
+
+#: Human-readable construction names for the no-conflict summary line.
+_ALGORITHM_LABELS = {
+    "lalr": "LALR(1)",
+    "ielr": "LR(1) (minimal construction)",
+    "lr1": "LR(1) (canonical construction)",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the independent Earley validation of unifying counterexamples",
+    )
+    parser.add_argument(
+        "--table-algorithm",
+        metavar="ALG",
+        help=(
+            "table construction: lalr (default), ielr (minimal LR(1): split "
+            "only the states whose merging manufactures conflicts), or lr1 "
+            "(canonical); overrides the grammar's %%algorithm directive"
+        ),
+    )
+    parser.add_argument(
+        "--provenance",
+        action="store_true",
+        help=(
+            "annotate each conflict with its provenance: genuine LR(1) "
+            "conflict vs LALR merge artifact (naming the minimal-LR(1) "
+            "states the offending state splits into)"
+        ),
     )
     parser.add_argument(
         "--states",
@@ -334,19 +359,29 @@ def main(argv: list[str] | None = None) -> int:
 
         print(f"metrics: {GrammarMetrics.of(grammar).describe()}")
 
+    try:
+        algorithm = normalize_algorithm(
+            args.table_algorithm
+            if args.table_algorithm is not None
+            else grammar.table_algorithm
+        )
+    except GrammarError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.cache_dir is not None:
-        from repro.perf.cache import AutomatonCache, build_lalr_cached
+        from repro.perf.cache import AutomatonCache, build_automaton_cached
 
         cache = AutomatonCache(args.cache_dir or None)
-        automaton = build_lalr_cached(grammar, cache)
+        automaton = build_automaton_cached(grammar, cache, algorithm)
     else:
-        automaton = build_lalr(grammar)
+        automaton = build_automaton(grammar, algorithm)
     if args.states:
         print(automaton)
 
     conflicts = automaton.conflicts
     if not conflicts:
-        print(f"grammar {grammar.name!r}: no conflicts — LALR(1)")
+        label = _ALGORITHM_LABELS.get(algorithm, algorithm)
+        print(f"grammar {grammar.name!r}: no conflicts — {label}")
         if args.robust_report:
             from repro.core import FinderSummary
 
@@ -376,6 +411,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         summary = CounterexampleFinder(automaton, **finder_kwargs).explain_all()
     elapsed = time.monotonic() - started
+
+    if args.provenance:
+        from repro.automaton import annotate_provenance
+
+        annotate_provenance(summary.reports, automaton)
 
     if not args.quiet:
         for report in summary.reports:

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.automaton.conflicts import Conflict
+from repro.automaton.ielr import ConflictProvenance
 from repro.automaton.lalr import LALRAutomaton, build_lalr
 from repro.core.counterexample import ConflictStub, Counterexample
 from repro.core.lasg import (
@@ -82,6 +83,11 @@ class FinderReport:
     degradations: list[DegradedExplanation] = field(default_factory=list)
     #: Whether a budget-escalating retry upgraded this report.
     retried: bool = False
+    #: Provenance verdict (genuine LR(1) conflict vs LALR merge
+    #: artifact), attached after the fact by
+    #: :func:`repro.automaton.ielr.annotate_provenance`; ``None`` unless
+    #: provenance analysis ran.
+    provenance: ConflictProvenance | None = None
 
     @property
     def degraded(self) -> bool:

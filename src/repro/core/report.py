@@ -45,6 +45,8 @@ def format_report(report: FinderReport) -> str:
     conflict = report.conflict
     example = report.counterexample
     lines = [f"Warning : {conflict.describe()}"]
+    if report.provenance is not None:
+        lines.append(f"Provenance: {report.provenance.describe()}")
 
     if example is None:
         if report.stub is not None:
@@ -119,6 +121,12 @@ def report_to_json(report: FinderReport) -> dict[str, Any]:
         "retried": report.retried,
         "degradations": [d.to_json() for d in report.degradations],
     }
+    if report.provenance is not None:
+        entry["provenance"] = {
+            "verdict": report.provenance.verdict.value,
+            "split_states": list(report.provenance.split_states),
+            "detail": report.provenance.detail,
+        }
     if report.stub is not None:
         entry["stub"] = {
             "reduce_item": str(conflict.reduce_item),

@@ -1,0 +1,98 @@
+"""The non-LALR fixture family: LR(1)-but-not-LALR(1) grammars.
+
+These are the "mysterious reduce/reduce conflict" grammars of the
+dragon-book tradition: each is unambiguous and canonical-LR(1)
+conflict-free, yet LALR's merging of same-core LR(1) states unions
+lookahead sets that were disjoint in every canonical member and thereby
+*manufactures* reduce/reduce conflicts. They pin the minimal-LR(1)
+backend (:mod:`repro.automaton.ielr`) end to end: the splitter must
+dissolve exactly these conflicts, and the provenance classifier must
+label each one an *LALR merge artifact* naming the split states.
+
+``nonlalr03-genuine`` is the control sibling: structurally similar, but
+its reduce/reduce conflict survives canonical LR(1) (both reductions
+share the lookahead in a single canonical state), so no amount of
+splitting removes it and the classifier must answer *genuine*.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.registry import GrammarSpec, register
+from repro.grammar import Grammar, load_grammar
+
+#: The textbook minimal non-LALR grammar. Canonical LR(1) keeps the two
+#: ``c``-kernel states apart (lookaheads {d,e} vs {e,d} swapped by
+#: context); LALR merges them and reports R/R on both d and e.
+NONLALR01 = """
+%grammar nonlalr01
+%start s
+s : 'a' X 'd' | 'a' Y 'e' | 'b' X 'e' | 'b' Y 'd' ;
+X : 'c' ;
+Y : 'c' ;
+"""
+
+#: A deeper variant: the offending reductions sit one derivation level
+#: below the context split, so dissolving the conflict requires the
+#: goto-congruence pass to propagate the split through the ``c``-chain
+#: (splitting one state is not enough — its predecessor must split too).
+NONLALR02 = """
+%grammar nonlalr02
+%start s
+s : 'a' X 'a' | 'b' X 'b' | 'a' Y 'b' | 'b' Y 'a' ;
+X : 'c' XP ;
+Y : 'c' YP ;
+XP : 'c' ;
+YP : 'c' ;
+"""
+
+#: The genuine control: X and Y both reduce from ``c`` under the *same*
+#: lookahead ``a`` in one canonical LR(1) state, so the R/R conflict is
+#: not a merge artifact and must classify as genuine.
+NONLALR03_GENUINE = """
+%grammar nonlalr03-genuine
+%start s
+s : X 'a' | Y 'a' ;
+X : 'c' ;
+Y : 'c' ;
+"""
+
+
+def _load_nonlalr01() -> Grammar:
+    return load_grammar(NONLALR01, name="nonlalr01")
+
+
+def _load_nonlalr02() -> Grammar:
+    return load_grammar(NONLALR02, name="nonlalr02")
+
+
+def _load_nonlalr03_genuine() -> Grammar:
+    return load_grammar(NONLALR03_GENUINE, name="nonlalr03-genuine")
+
+
+register(
+    GrammarSpec(
+        name="nonlalr01",
+        category="nonlalr",
+        loader=_load_nonlalr01,
+        ambiguous=False,
+        notes="LR(1) but not LALR(1); both R/R conflicts are merge artifacts",
+    )
+)
+register(
+    GrammarSpec(
+        name="nonlalr02",
+        category="nonlalr",
+        loader=_load_nonlalr02,
+        ambiguous=False,
+        notes="non-LALR with a two-level split (goto congruence propagation)",
+    )
+)
+register(
+    GrammarSpec(
+        name="nonlalr03-genuine",
+        category="nonlalr",
+        loader=_load_nonlalr03_genuine,
+        ambiguous=True,
+        notes="control sibling: the R/R conflict survives canonical LR(1)",
+    )
+)

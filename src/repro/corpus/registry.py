@@ -40,7 +40,7 @@ class GrammarSpec:
     """One corpus entry."""
 
     name: str
-    category: str  # "paper" | "ours" | "stackoverflow" | "bv10"
+    category: str  # "paper" | "ours" | "stackoverflow" | "bv10" | "hygiene" | "nonlalr"
     loader: Callable[[], Grammar]
     ambiguous: bool
     exact: bool = False  # True when the grammar is verbatim from the paper
@@ -71,6 +71,7 @@ def _ensure_loaded() -> None:
         c,
         hygiene,
         java,
+        nonlalr,
         ours,
         paper,
         pascal,

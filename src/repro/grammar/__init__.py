@@ -1,5 +1,11 @@
 """Context-free grammar substrate: symbols, productions, analyses, DSL."""
 
+from repro.grammar.algorithms import (
+    DEFAULT_ALGORITHM,
+    TABLE_ALGORITHMS,
+    UnknownAlgorithmError,
+    normalize_algorithm,
+)
 from repro.grammar.analysis import GrammarAnalysis
 from repro.grammar.builder import GrammarBuilder, grammar_from_rules
 from repro.grammar.dsl import load_grammar, load_grammar_file
@@ -32,6 +38,7 @@ from repro.grammar.symbols import (
 __all__ = [
     "AUGMENTED_START_NAME",
     "Associativity",
+    "DEFAULT_ALGORITHM",
     "DuplicateDeclarationError",
     "END_OF_INPUT",
     "Grammar",
@@ -46,9 +53,12 @@ __all__ = [
     "PrecedenceTable",
     "Production",
     "Symbol",
+    "TABLE_ALGORITHMS",
     "Terminal",
     "UndefinedSymbolError",
+    "UnknownAlgorithmError",
     "dump_grammar",
+    "normalize_algorithm",
     "grammar_from_rules",
     "has_derivation_cycles",
     "left_recursive_nonterminals",

@@ -1,0 +1,68 @@
+"""Table-construction algorithm names and validation.
+
+The system builds parse tables with one of three constructions:
+
+* ``"lalr"`` — the classic LALR(1) merge of canonical LR(1) states that
+  share an LR(0) core (the paper's setting, and the default);
+* ``"ielr"`` — minimal LR(1): LALR-sized tables except where core
+  merging *manufactures* reduce/reduce conflicts, in which case exactly
+  those states are split (:mod:`repro.automaton.ielr`);
+* ``"lr1"`` — canonical LR(1), one state per distinct LR(1) kernel.
+
+This module lives in the grammar layer (not :mod:`repro.automaton`) so
+the DSL's ``%algorithm`` directive, :class:`~repro.grammar.builder.
+GrammarBuilder`, and the CLI can all validate names through one routine
+without importing automaton code. An unknown name raises
+:class:`UnknownAlgorithmError`, a :class:`~repro.grammar.errors.
+GrammarError` subclass — so it carries a source line when it came from
+grammar text and flows through the CLI's structured error path instead
+of surfacing as a bare ``ValueError``.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.errors import GrammarError
+
+#: Recognised table-construction algorithms, weakest first.
+TABLE_ALGORITHMS: tuple[str, ...] = ("lalr", "ielr", "lr1")
+
+#: The construction used when a grammar does not say otherwise.
+DEFAULT_ALGORITHM = "lalr"
+
+#: Accepted spellings, normalised to the canonical names above.
+_ALIASES: dict[str, str] = {
+    "lalr": "lalr",
+    "lalr1": "lalr",
+    "lalr(1)": "lalr",
+    "ielr": "ielr",
+    "ielr1": "ielr",
+    "ielr(1)": "ielr",
+    "minimal": "ielr",
+    "minimal-lr1": "ielr",
+    "lr1": "lr1",
+    "lr(1)": "lr1",
+    "canonical": "lr1",
+    "canonical-lr1": "lr1",
+}
+
+
+class UnknownAlgorithmError(GrammarError):
+    """An unrecognised table-construction algorithm name."""
+
+
+def normalize_algorithm(name: str, line: int | None = None) -> str:
+    """Resolve *name* to a canonical algorithm name, or raise.
+
+    Raises:
+        UnknownAlgorithmError: if *name* (case-insensitively, with
+            common aliases) is not a recognised construction. *line* is
+            attached for grammar-text provenance.
+    """
+    canonical = _ALIASES.get(name.strip().lower())
+    if canonical is None:
+        known = ", ".join(TABLE_ALGORITHMS)
+        raise UnknownAlgorithmError(
+            f"unknown table algorithm {name!r} (expected one of: {known})",
+            line=line,
+        )
+    return canonical

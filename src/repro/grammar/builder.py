@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.grammar.algorithms import DEFAULT_ALGORITHM, normalize_algorithm
 from repro.grammar.errors import InvalidGrammarError
 from repro.grammar.grammar import Grammar
 from repro.grammar.precedence import Associativity, PrecedenceTable
@@ -33,6 +34,7 @@ class GrammarBuilder:
         self._precedence = PrecedenceTable()
         self._start: str | None = None
         self._token_declarations: dict[str, int | None] = {}
+        self._algorithm: str = DEFAULT_ALGORITHM
 
     # ------------------------------------------------------------------ #
 
@@ -103,6 +105,15 @@ class GrammarBuilder:
         self._start = nonterminal
         return self
 
+    def algorithm(self, name: str, line: int | None = None) -> "GrammarBuilder":
+        """Select the table construction (DSL ``%algorithm``).
+
+        Raises :class:`~repro.grammar.algorithms.UnknownAlgorithmError`
+        — carrying *line* when given — for unrecognised names.
+        """
+        self._algorithm = normalize_algorithm(name, line=line)
+        return self
+
     # ------------------------------------------------------------------ #
 
     def build(self, start: str | None = None) -> Grammar:
@@ -139,6 +150,7 @@ class GrammarBuilder:
             precedence=self._precedence,
             name=self.name,
             token_declarations=self._token_declarations,
+            table_algorithm=self._algorithm,
         )
 
 

@@ -7,6 +7,7 @@ paper's evaluation::
     // comments run to end of line
     %grammar dangling-else      // optional diagnostic name
     %start stmt                 // defaults to the first rule's lhs
+    %algorithm ielr             // table construction: lalr | ielr | lr1
     %left '+' '-'
     %left '*'                   // later lines bind tighter
     %right ELSE
@@ -164,6 +165,10 @@ class _Parser:
             return self._symbol_name(self._next())
         if directive == "%grammar":
             builder.name = self._symbol_name(self._next())
+            return start
+        if directive == "%algorithm":
+            operand = self._next()
+            builder.algorithm(self._symbol_name(operand), line=operand.line)
             return start
         if directive in ("%left", "%right", "%nonassoc"):
             terminals: list[str] = []

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import re
 
+from repro.grammar.algorithms import DEFAULT_ALGORITHM
 from repro.grammar.grammar import Grammar
 from repro.grammar.precedence import Associativity
 from repro.grammar.symbols import Symbol, Terminal
@@ -49,6 +50,10 @@ def dump_grammar(grammar: Grammar) -> str:
     if not _PLAIN_NAME.match(name):
         name = "'" + name.replace("\\", "\\\\").replace("'", "\\'") + "'"
     lines: list[str] = [f"%grammar {name}", f"%start {grammar.start}"]
+    # The default construction is implicit; emitting it only when it
+    # deviates keeps pre-existing grammars byte-identical round-trips.
+    if grammar.table_algorithm != DEFAULT_ALGORITHM:
+        lines.append(f"%algorithm {grammar.table_algorithm}")
 
     # Re-emit precedence levels lowest-rank first, grouping terminals on
     # one line per level.

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterator, Sequence
 
+from repro.grammar.algorithms import DEFAULT_ALGORITHM, normalize_algorithm
 from repro.grammar.errors import InvalidGrammarError, UndefinedSymbolError
 from repro.grammar.precedence import PrecedenceTable
 from repro.grammar.symbols import END_OF_INPUT, Nonterminal, Symbol, Terminal
@@ -72,6 +73,7 @@ class Grammar:
         precedence: PrecedenceTable | None = None,
         name: str = "grammar",
         token_declarations: dict[str, int | None] | None = None,
+        table_algorithm: str = DEFAULT_ALGORITHM,
     ) -> None:
         """Build an augmented grammar.
 
@@ -85,11 +87,15 @@ class Grammar:
             token_declarations: Terminal names declared via ``%token``
                 (or equivalent), mapped to their source line. Purely
                 diagnostic; terminal-ness is still inferred from use.
+            table_algorithm: Requested table construction (``%algorithm``
+                in the DSL); one of
+                :data:`~repro.grammar.algorithms.TABLE_ALGORITHMS`.
         """
         if not productions:
             raise InvalidGrammarError("a grammar needs at least one production")
         self.name = name
         self.start = start
+        self.table_algorithm = normalize_algorithm(table_algorithm)
         self.augmented_start = Nonterminal(AUGMENTED_START_NAME)
         self.precedence = precedence if precedence is not None else PrecedenceTable()
         self.token_declarations: dict[str, int | None] = dict(

@@ -60,6 +60,9 @@ FAST_GRAMMARS = [
     "Java.3",
     "stackexc01",
     "stackovf01",
+    "nonlalr01",
+    "nonlalr02",
+    "nonlalr03-genuine",
 ]
 
 #: Span paths promoted into the report (missing ones are skipped).
@@ -139,8 +142,18 @@ def _bench_grammar(
             for key in COUNTERS
             if key in collector.counters
         }
+    # Cache-entry footprint: what an AutomatonCache entry for this
+    # grammar costs on disk, flat (v2) vs compacted (v3) encoding.
+    # Sizes are deterministic, so they ride on the last repeat.
+    from repro.automaton.serialize import dump_automaton
+
+    cache_entry_bytes = {
+        "flat": len(dump_automaton(automaton, compact=False).encode("utf-8")),
+        "compact": len(dump_automaton(automaton, compact=True).encode("utf-8")),
+    }
     return {
         "conflicts": conflicts,
+        "cache_entry_bytes": cache_entry_bytes,
         "total_s": round(statistics.median(totals), 6),
         "phases": {
             phase: round(statistics.median(samples), 6)

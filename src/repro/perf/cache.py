@@ -67,18 +67,22 @@ def default_cache_dir() -> Path:
     return DEFAULT_CACHE_DIR
 
 
-def grammar_fingerprint(grammar: Grammar) -> str:
+def grammar_fingerprint(grammar: Grammar, algorithm: str = "lalr") -> str:
     """A content hash identifying *grammar* for caching purposes.
 
     Two grammars share a fingerprint iff their canonical DSL emissions
     match (same productions in the same order, same start symbol, same
-    precedence declarations). The grammar's *name* is deliberately
-    excluded — it is diagnostic metadata and does not affect the
-    automaton. The serialization format version is folded in so format
-    changes self-invalidate old entries.
+    precedence declarations) **and** the same table construction is
+    requested — the minimal/canonical LR(1) automatons of one grammar
+    are distinct cache entries from its LALR automaton. The grammar's
+    *name* is deliberately excluded — it is diagnostic metadata and does
+    not affect the automaton. The serialization format version is folded
+    in so format changes self-invalidate old entries.
     """
     canonical = dump_grammar(grammar)
-    payload = f"repro.automaton/{FULL_FORMAT_VERSION}\n{canonical}".encode()
+    payload = (
+        f"repro.automaton/{FULL_FORMAT_VERSION}/{algorithm}\n{canonical}".encode()
+    )
     return hashlib.sha256(payload).hexdigest()
 
 
@@ -95,14 +99,16 @@ class AutomatonCache:
     def _path_for(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
 
-    def get(self, grammar: Grammar) -> LALRAutomaton | None:
+    def get(self, grammar: Grammar, algorithm: str = "lalr") -> LALRAutomaton | None:
         """The cached automaton for *grammar*, or ``None`` on a miss.
 
         Corrupt, truncated, or unreadable entries count as misses; the
         offending file is left in place for the next :meth:`put` to
-        overwrite atomically.
+        overwrite atomically. An entry whose recorded construction
+        algorithm disagrees with the requested one (hash collision or
+        hand-edited file) is also a miss.
         """
-        path = self._path_for(grammar_fingerprint(grammar))
+        path = self._path_for(grammar_fingerprint(grammar, algorithm))
         try:
             text = path.read_text()
         except OSError:
@@ -112,6 +118,9 @@ class AutomatonCache:
             with metrics.span("cache/decode"):
                 automaton = load_automaton(text)
         except (ValueError, KeyError, IndexError, TypeError):
+            self._miss()
+            return None
+        if automaton.algorithm != algorithm:
             self._miss()
             return None
         # The cached automaton carries its own reloaded Grammar; swap in
@@ -127,7 +136,7 @@ class AutomatonCache:
 
     def put(self, grammar: Grammar, automaton: LALRAutomaton) -> Path:
         """Store *automaton* under *grammar*'s fingerprint (atomically)."""
-        path = self._path_for(grammar_fingerprint(grammar))
+        path = self._path_for(grammar_fingerprint(grammar, automaton.algorithm))
         path.parent.mkdir(parents=True, exist_ok=True)
         with metrics.span("cache/encode"):
             text = dump_automaton(automaton)
@@ -175,15 +184,43 @@ class AutomatonCache:
         return {"entries": entries, "hits": self.hits, "misses": self.misses}
 
 
+def build_automaton_cached(
+    grammar: Grammar,
+    cache: AutomatonCache | None,
+    algorithm: str | None = None,
+) -> LALRAutomaton:
+    """:func:`~repro.automaton.ielr.build_automaton` through an optional cache.
+
+    With ``cache=None`` this is exactly ``build_automaton`` — callers
+    can thread an optional cache without branching. *algorithm* defaults
+    to the grammar's own ``table_algorithm``. On a miss the freshly
+    built automaton (tables forced, so conflicts are captured) is stored
+    before being returned.
+    """
+    from repro.automaton.ielr import build_automaton
+    from repro.grammar import normalize_algorithm
+
+    algorithm = normalize_algorithm(
+        algorithm if algorithm is not None else grammar.table_algorithm
+    )
+    if cache is None:
+        return build_automaton(grammar, algorithm)
+    cached = cache.get(grammar, algorithm)
+    if cached is not None:
+        return cached
+    automaton = build_automaton(grammar, algorithm)
+    cache.put(grammar, automaton)
+    return automaton
+
+
 def build_lalr_cached(
     grammar: Grammar, cache: AutomatonCache | None
 ) -> LALRAutomaton:
     """:func:`~repro.automaton.lalr.build_lalr` through an optional cache.
 
-    With ``cache=None`` this is exactly ``build_lalr`` — callers can
-    thread an optional cache without branching. On a miss the freshly
-    built automaton (tables forced, so conflicts are captured) is stored
-    before being returned.
+    The LALR-only spelling of :func:`build_automaton_cached`, kept for
+    callers that always want the paper's construction regardless of the
+    grammar's ``%algorithm`` directive.
     """
     if cache is None:
         return build_lalr(grammar)

@@ -1,8 +1,9 @@
 """Cross-construction and cross-runtime consistency oracle.
 
 The library builds the same grammar through several independent pipelines
-— SLR(1), LALR(1) via the channel algorithm, canonical LR(1), and three
-parser runtimes (table-driven LR, Earley over sentential forms, GLR).
+— SLR(1), LALR(1) via the channel algorithm, minimal LR(1) (IELR-style
+state splitting), canonical LR(1), and three parser runtimes
+(table-driven LR, Earley over sentential forms, GLR).
 :class:`DifferentialOracle` asserts the invariants that tie them
 together; any violation is a bug in one of the constructions, reported as
 a :class:`Disagreement` rather than an exception.
@@ -15,7 +16,10 @@ Construction invariants (per LR(0) core and item):
   (the classic containment chain);
 * a grammar whose LALR automaton is conflict-free before precedence
   resolution has a conflict-free canonical LR(1) automaton (merging can
-  only add conflicts, never remove them).
+  only add conflicts, never remove them);
+* the minimal-LR(1) automaton has **exactly** the canonical LR(1) raw
+  conflict signatures (the defining property of the split criterion) and
+  its state count sits in the sandwich LALR ≤ IELR ≤ canonical LR(1).
 
 Runtime invariants over sampled sentences (positive samples drawn by
 random derivation, negative samples by random token strings):
@@ -119,7 +123,10 @@ class DifferentialOracle:
         """Run every invariant; collect disagreements instead of raising."""
         report = DifferentialReport(grammar_name=self.grammar.name)
         self._check_slr_containment(report)
-        self._check_lr1_agreement(report)
+        lr1 = self._build_lr1(report)
+        if lr1 is not None:
+            self._check_lr1_agreement(report, lr1)
+            self._check_ielr_agreement(report, lr1)
         self._check_runtime_agreement(report)
         return report
 
@@ -140,12 +147,17 @@ class DifferentialOracle:
                     )
                 )
 
-    def _check_lr1_agreement(self, report: DifferentialReport) -> None:
+    def _build_lr1(self, report: DifferentialReport) -> LR1Automaton | None:
+        """The canonical LR(1) automaton, shared by the LR(1)/IELR checks."""
         try:
-            lr1 = LR1Automaton(self.grammar, max_states=self.max_lr1_states)
+            return LR1Automaton(self.grammar, max_states=self.max_lr1_states)
         except RuntimeError as error:
             report.skipped.append(f"lr1-agreement: {error}")
-            return
+            return None
+
+    def _check_lr1_agreement(
+        self, report: DifferentialReport, lr1: LR1Automaton
+    ) -> None:
         merged = lr1.merged_lookaheads()
         for state in self.automaton.states:
             core = frozenset(state.items)
@@ -193,6 +205,93 @@ class DifferentialOracle:
                 if terminal in state.transitions and terminal != END_OF_INPUT:
                     return True
         return False
+
+    def _check_ielr_agreement(
+        self, report: DifferentialReport, lr1: LR1Automaton
+    ) -> None:
+        from repro.automaton.ielr import (
+            build_ielr,
+            canonical_conflict_signatures,
+            conflict_signatures,
+        )
+
+        try:
+            ielr = build_ielr(self.grammar, lr1=lr1)
+        except RuntimeError as error:
+            report.skipped.append(f"ielr-agreement: {error}")
+            return
+        ielr_signatures = conflict_signatures(ielr)
+        lr1_signatures = canonical_conflict_signatures(lr1)
+        if ielr_signatures != lr1_signatures:
+            extra = ielr_signatures - lr1_signatures
+            missing = lr1_signatures - ielr_signatures
+            report.disagreements.append(
+                Disagreement(
+                    "ielr-conflict-signatures",
+                    f"minimal LR(1) conflicts differ from canonical: "
+                    f"{len(extra)} manufactured, {len(missing)} lost",
+                )
+            )
+        if len(ielr.states) > len(lr1.states):
+            report.disagreements.append(
+                Disagreement(
+                    "ielr-state-sandwich",
+                    f"the minimal quotient has more states than canonical "
+                    f"LR(1): {len(ielr.states)} > {len(lr1.states)}",
+                )
+            )
+        # The LALR-relative invariants assume the LR(0) and LR(1)
+        # collections share their cores, which only holds when every
+        # nonterminal is productive (LR(1) closure drops items whose
+        # lookahead context is empty, pruning dead regions the LR(0)
+        # collection keeps).
+        if self.grammar.nonproductive_nonterminals:
+            report.skipped.append(
+                "ielr-agreement: nonproductive nonterminals; "
+                "LALR-relative invariants not applicable"
+            )
+            return
+        if len(self.automaton.states) > len(ielr.states):
+            report.disagreements.append(
+                Disagreement(
+                    "ielr-state-sandwich",
+                    f"state counts violate LALR <= IELR: "
+                    f"{len(self.automaton.states)} > {len(ielr.states)}",
+                )
+            )
+        # Per LR(0) core and item, the union of IELR lookaheads over the
+        # split states must reproduce the LALR lookahead sets — splitting
+        # repartitions lookaheads, it never invents or drops them.
+        union_by_core: dict[tuple[frozenset, object], set] = {}
+        for state in ielr.states:
+            core = frozenset(state.items)
+            for item in state.items:
+                key = (core, item)
+                union_by_core.setdefault(key, set()).update(
+                    ielr.lookahead(state, item)
+                )
+        for state in self.automaton.states:
+            core = frozenset(state.items)
+            for item in state.items:
+                lalr = self.automaton.lookahead(state, item)
+                union = union_by_core.get((core, item))
+                if union is None:
+                    report.disagreements.append(
+                        Disagreement(
+                            "ielr-core-missing",
+                            f"state {state.id}, item [{item}]: no minimal "
+                            "LR(1) state shares this core",
+                        )
+                    )
+                elif union != lalr:
+                    report.disagreements.append(
+                        Disagreement(
+                            "ielr-lookahead-union",
+                            f"state {state.id}, item [{item}]: LALR "
+                            f"{sorted(map(str, lalr))} != union of IELR "
+                            f"{sorted(map(str, union))}",
+                        )
+                    )
 
     # ------------------------------------------------------------------ #
     # Runtime invariants

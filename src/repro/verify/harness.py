@@ -97,6 +97,10 @@ class FuzzReport:
     counterexamples_validated: int = 0
     oracle_samples: int = 0
     lint_diagnostics: int = 0
+    #: Conflicts classified as LALR merge artifacts (they vanish under
+    #: minimal LR(1) state splitting) vs genuine LR(1) conflicts.
+    merge_artifacts: int = 0
+    genuine_conflicts: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     elapsed: float = 0.0
 
@@ -127,6 +131,8 @@ class FuzzReport:
             f"  counterexamples validated: {self.counterexamples_validated}; "
             f"oracle samples: {self.oracle_samples}; "
             f"lint diagnostics: {self.lint_diagnostics}",
+            f"  conflict provenance: {self.genuine_conflicts} genuine LR(1), "
+            f"{self.merge_artifacts} LALR merge artifacts",
             "  failures: "
             + ", ".join(f"{name}={count}" for name, count in counts.items()),
         ]
@@ -149,6 +155,8 @@ class _Examination:
     validated: int = 0
     samples: int = 0
     lint_diagnostics: int = 0
+    merge_artifacts: int = 0
+    genuine: int = 0
     problems: list[tuple[FailureKind, str]] = field(default_factory=list)
 
     def problem_kinds(self) -> set[FailureKind]:
@@ -164,6 +172,10 @@ class FuzzHarness:
             fuzz grammars are tiny and timeouts are only informational).
         cumulative_limit: Per-grammar unifying-search budget.
         differential: Run the cross-construction oracle each iteration.
+        provenance_check: Classify every conflict as genuine-LR(1) vs
+            LALR merge artifact (exercising the minimal-LR(1) splitter on
+            each conflicted fuzz grammar); classification crashes are
+            fatal campaign failures.
         glr_check: Ask the validator for the GLR cross-check as well.
         lint_check: Run every static lint pass on each fuzzed grammar;
             any pass crash is classified as a fatal campaign failure
@@ -192,6 +204,7 @@ class FuzzHarness:
         time_limit: float = 0.3,
         cumulative_limit: float = 2.0,
         differential: bool = True,
+        provenance_check: bool = True,
         glr_check: bool = True,
         lint_check: bool = True,
         shrink: bool = True,
@@ -206,6 +219,7 @@ class FuzzHarness:
         self.time_limit = time_limit
         self.cumulative_limit = cumulative_limit
         self.differential = differential
+        self.provenance_check = provenance_check
         self.glr_check = glr_check
         self.lint_check = lint_check
         self.shrink = shrink
@@ -271,6 +285,8 @@ class FuzzHarness:
         report.counterexamples_validated += examination.validated
         report.oracle_samples += examination.samples
         report.lint_diagnostics += examination.lint_diagnostics
+        report.merge_artifacts += examination.merge_artifacts
+        report.genuine_conflicts += examination.genuine
         if examination.conflicts:
             report.grammars_with_conflicts += 1
 
@@ -360,6 +376,27 @@ class FuzzHarness:
                 (FailureKind.CRASH, f"counterexample finder raised {error!r}")
             )
             return result
+
+        if self.provenance_check and automaton.conflicts:
+            from repro.automaton.ielr import ProvenanceVerdict, classify_conflicts
+
+            try:
+                provenance = classify_conflicts(
+                    automaton, max_lr1_states=self.max_lr1_states
+                )
+            except Exception as error:  # noqa: BLE001
+                result.problems.append(
+                    (
+                        FailureKind.CRASH,
+                        f"provenance classification raised {error!r}",
+                    )
+                )
+            else:
+                for entry in provenance.values():
+                    if entry.verdict is ProvenanceVerdict.MERGE_ARTIFACT:
+                        result.merge_artifacts += 1
+                    elif entry.verdict is ProvenanceVerdict.GENUINE:
+                        result.genuine += 1
 
         result.conflicts = summary.num_conflicts
         result.unifying = summary.num_unifying

@@ -1,0 +1,107 @@
+"""Tests for equivalence-class row/column table compaction."""
+
+from repro.automaton import build_lalr, compact_rows, compaction_stats, restore_rows
+from repro.automaton.compaction import expand_rows, intern_rows
+from repro.automaton.serialize import automaton_to_dict
+from repro.automaton.tables import build_tables
+
+
+def as_maps(rows, stride):
+    payload = stride - 1
+    return [
+        {
+            row[i]: tuple(row[i + 1 : i + 1 + payload])
+            for i in range(0, len(row), stride)
+        }
+        for row in rows
+    ]
+
+
+class TestCompactRows:
+    def test_round_trip_preserves_mappings(self):
+        rows = [
+            [0, 5, 1, 2, 7, 3],
+            [0, 5, 1, 2, 7, 3],
+            [1, 9, 9],
+            [],
+        ]
+        compacted = compact_rows(rows, 3, 4)
+        restored = restore_rows(compacted, 3)
+        assert as_maps(restored, 3) == as_maps(rows, 3)
+
+    def test_identical_rows_share_pool_entry(self):
+        rows = [[0, 1], [0, 1], [0, 1]]
+        compacted = compact_rows(rows, 2, 1)
+        assert len(compacted["rows"]) == 1
+        assert compacted["map"] == [0, 0, 0]
+
+    def test_identical_columns_share_class(self):
+        # Keys 0 and 1 carry the same payload in every row: one class.
+        rows = [[0, 7, 1, 7], [0, 8, 1, 8]]
+        compacted = compact_rows(rows, 2, 3)
+        assert compacted["cols"][0] == compacted["cols"][1]
+        assert compacted["cols"][2] != compacted["cols"][0]
+        assert as_maps(restore_rows(compacted, 2), 2) == as_maps(rows, 2)
+
+    def test_empty_input(self):
+        compacted = compact_rows([], 3, 0)
+        assert restore_rows(compacted, 3) == []
+
+    def test_restored_keys_ascending(self):
+        rows = [[3, 1, 0, 2, 1, 3]]
+        restored = restore_rows(compact_rows(rows, 2, 4), 2)
+        keys = restored[0][::2]
+        assert keys == sorted(keys)
+
+
+class TestInternRows:
+    def test_round_trip(self):
+        rows = [[1, 2], [], [1, 2], [3]]
+        interned = intern_rows(rows)
+        assert expand_rows(interned) == rows
+        assert len(interned["rows"]) == 3
+
+
+class TestStats:
+    def test_compaction_shrinks_real_tables(self):
+        from repro.corpus import load
+
+        from repro.automaton.tables import Accept, Reduce, Shift
+
+        automaton = build_lalr(load("SQL.2"))
+        tables = build_tables(automaton)
+        terminals = sorted({t for row in tables.action for t in row}, key=str)
+        code_of = {t: code for code, t in enumerate(terminals)}
+        rows = []
+        for row in tables.action:
+            flat = []
+            for terminal in sorted(row, key=str):
+                action = row[terminal]
+                if isinstance(action, Shift):
+                    op, arg = 0, action.state_id
+                elif isinstance(action, Reduce):
+                    op, arg = 1, action.production.index
+                elif isinstance(action, Accept):
+                    op, arg = 2, -1
+                else:
+                    op, arg = 3, -1
+                flat.extend((code_of[terminal], op, arg))
+            rows.append(flat)
+        stats = compaction_stats(rows, 3, len(code_of))
+        assert stats["flat_ints"] == sum(len(r) for r in rows)
+        assert stats["compact_ints"] < stats["flat_ints"]
+        assert stats["unique_rows"] < len(rows)
+        round_tripped = restore_rows(compact_rows(rows, 3, len(code_of)), 3)
+        assert as_maps(round_tripped, 3) == as_maps(rows, 3)
+
+
+class TestSerializerIntegration:
+    def test_compact_document_smaller_than_flat(self):
+        import json
+
+        from repro.corpus import load
+
+        automaton = build_lalr(load("SQL.2"))
+        flat = json.dumps(automaton_to_dict(automaton, compact=False))
+        compact = json.dumps(automaton_to_dict(automaton, compact=True))
+        assert len(compact) < len(flat)

@@ -254,20 +254,22 @@ def _encode_v1(automaton):
 
 
 class TestFormatV2:
-    """Specifics of the v2 layout: pooled int masks, flat coded tables."""
+    """Specifics of the flat (v2) layout: pooled int masks, flat coded
+    tables. The v3 writer still emits this layout with ``compact=False``,
+    and the reader keeps the v2 path for pre-compaction cache entries."""
 
     def _payload(self, grammar):
         from repro.automaton.serialize import automaton_to_dict
 
         automaton = build_lalr(grammar)
         _ = automaton.tables
-        return automaton, automaton_to_dict(automaton)
+        return automaton, automaton_to_dict(automaton, compact=False)
 
     def test_version_marker_is_2(self, figure1):
-        from repro.automaton.serialize import FULL_FORMAT_VERSION
+        from repro.automaton.serialize import FLAT_FORMAT_VERSION
 
         _, payload = self._payload(figure1)
-        assert FULL_FORMAT_VERSION == 2
+        assert FLAT_FORMAT_VERSION == 2
         assert payload["full_version"] == 2
 
     def test_lookahead_pool_holds_int_masks(self, figure1):
@@ -391,3 +393,75 @@ class TestV1Fallback:
         rebuilt = build_lalr_cached(figure1, cache)
         assert cache.misses == 1
         assert len(rebuilt.states) == len(automaton.states)
+
+
+class TestFormatV3:
+    """Specifics of the compact (v3) layout: column classes + row pools."""
+
+    def _payload(self, grammar):
+        from repro.automaton.serialize import automaton_to_dict
+
+        automaton = build_lalr(grammar)
+        _ = automaton.tables
+        return automaton, automaton_to_dict(automaton, compact=True)
+
+    def test_version_marker_is_3(self, figure1):
+        from repro.automaton.serialize import FULL_FORMAT_VERSION
+
+        _, payload = self._payload(figure1)
+        assert FULL_FORMAT_VERSION == 3
+        assert payload["full_version"] == 3
+        assert payload["algorithm"] == "lalr"
+
+    def test_tables_are_pooled(self, figure1):
+        _, payload = self._payload(figure1)
+        for table in (payload["action"], payload["goto"]):
+            assert set(table) == {"cols", "rows", "map"}
+        for interned in (payload["lookaheads"], payload["trans"]):
+            assert set(interned) == {"rows", "map"}
+        # Per-state transition vectors moved to the interned top-level
+        # pool; the state records keep only kernel size and items.
+        assert all("trans" not in state for state in payload["states"])
+
+    def test_compact_decodes_identically_to_flat(self, figure1):
+        from repro.automaton.serialize import (
+            automaton_from_dict,
+            automaton_to_dict,
+        )
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        flat = automaton_from_dict(automaton_to_dict(automaton, compact=False))
+        compact = automaton_from_dict(automaton_to_dict(automaton, compact=True))
+        assert compact.lookahead_masks == flat.lookahead_masks
+        assert compact.tables.action == flat.tables.action
+        assert compact.tables.goto == flat.tables.goto
+
+    def test_ielr_automaton_round_trips(self):
+        from repro.automaton import build_ielr
+        from repro.automaton.serialize import dump_automaton, load_automaton
+        from repro.corpus import load as load_corpus
+
+        automaton = build_ielr(load_corpus("nonlalr01"))
+        _ = automaton.tables
+        text = dump_automaton(automaton)
+        loaded = load_automaton(text)
+        assert loaded.algorithm == "ielr"
+        assert len(loaded.states) == len(automaton.states)
+        assert not loaded.conflicts
+        # Split states (same kernel, distinct ids) survive the round trip.
+        kernels = [state.kernel for state in loaded.states]
+        assert len(kernels) > len(set(kernels))
+        assert dump_automaton(loaded) == text
+
+    def test_missing_algorithm_defaults_to_lalr(self, figure1):
+        from repro.automaton.serialize import (
+            automaton_from_dict,
+            automaton_to_dict,
+        )
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        payload = automaton_to_dict(automaton)
+        del payload["algorithm"]
+        assert automaton_from_dict(payload).algorithm == "lalr"

@@ -219,3 +219,60 @@ class TestRoundTrip:
         grammar = load_grammar_file(str(path))
         assert grammar.name == "tiny"
         assert grammar.num_user_productions == 2
+
+
+class TestAlgorithmDirective:
+    def test_default_is_lalr(self):
+        from repro.grammar import load_grammar
+
+        assert load_grammar("s : 'a' ;").table_algorithm == "lalr"
+
+    def test_directive_sets_algorithm(self):
+        from repro.grammar import load_grammar
+
+        grammar = load_grammar("%algorithm ielr\ns : 'a' ;")
+        assert grammar.table_algorithm == "ielr"
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("lalr(1)", "lalr"),
+            ("IELR(1)", "ielr"),
+            ("minimal-lr1", "ielr"),
+            ("LR(1)", "lr1"),
+            ("canonical", "lr1"),
+        ],
+    )
+    def test_aliases_normalise(self, alias, canonical):
+        from repro.grammar import normalize_algorithm
+
+        assert normalize_algorithm(alias) == canonical
+
+    def test_unknown_algorithm_is_a_grammar_error_with_line(self):
+        from repro.grammar import GrammarError, load_grammar
+
+        with pytest.raises(GrammarError) as info:
+            load_grammar("s : 'a' ;\n%algorithm glr\n")
+        assert "line 2" in str(info.value)
+        assert "unknown table algorithm 'glr'" in str(info.value)
+
+    def test_unknown_algorithm_error_type(self):
+        from repro.grammar import UnknownAlgorithmError, normalize_algorithm
+
+        with pytest.raises(UnknownAlgorithmError):
+            normalize_algorithm("glr")
+
+    def test_round_trip_preserves_directive(self):
+        from repro.grammar import load_grammar
+        from repro.grammar.emit import dump_grammar
+
+        grammar = load_grammar("%algorithm lr1\ns : 'a' ;")
+        text = dump_grammar(grammar)
+        assert "%algorithm lr1" in text
+        assert load_grammar(text).table_algorithm == "lr1"
+
+    def test_default_emits_no_directive(self):
+        from repro.grammar import load_grammar
+        from repro.grammar.emit import dump_grammar
+
+        assert "%algorithm" not in dump_grammar(load_grammar("s : 'a' ;"))

@@ -123,3 +123,66 @@ class TestDefaultDirectory:
     def test_fallback_without_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_cache_dir().name == "automatons"
+
+
+class TestAlgorithmAwareCache:
+    """The construction algorithm is part of the cache identity."""
+
+    def test_fingerprint_differs_per_algorithm(self, figure1):
+        keys = {
+            grammar_fingerprint(figure1, algorithm)
+            for algorithm in ("lalr", "ielr", "lr1")
+        }
+        assert len(keys) == 3
+
+    def test_ielr_round_trip(self, cache):
+        from repro.automaton import IELRAutomaton
+        from repro.corpus import load
+        from repro.perf.cache import build_automaton_cached
+
+        grammar = load("nonlalr01")
+        first = build_automaton_cached(grammar, cache, "ielr")
+        assert cache.misses == 1
+        second = build_automaton_cached(grammar, cache, "ielr")
+        assert cache.hits == 1
+        assert isinstance(first, IELRAutomaton)
+        assert second.algorithm == "ielr"
+        assert not second.conflicts
+        assert len(second.states) == len(first.states)
+
+    def test_algorithms_do_not_collide(self, cache):
+        from repro.corpus import load
+        from repro.perf.cache import build_automaton_cached
+
+        grammar = load("nonlalr01")
+        build_automaton_cached(grammar, cache, "ielr")
+        lalr = build_automaton_cached(grammar, cache, "lalr")
+        assert cache.hits == 0 and cache.misses == 2
+        assert lalr.algorithm == "lalr"
+        assert lalr.conflicts  # the LALR entry kept its conflicts
+
+    def test_algorithm_mismatch_at_key_is_a_miss(self, cache, figure1):
+        """A hand-moved entry whose recorded algorithm disagrees with the
+        requested one is rejected rather than served."""
+        from repro.automaton.serialize import dump_automaton
+
+        automaton = build_lalr(figure1)
+        _ = automaton.tables
+        path = cache.directory / (
+            grammar_fingerprint(figure1, "ielr") + ".json"
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dump_automaton(automaton))
+        assert cache.get(figure1, "ielr") is None
+        assert cache.misses == 1
+
+    def test_grammar_directive_is_the_default(self, cache):
+        from repro.automaton import IELRAutomaton
+        from repro.grammar import load_grammar as load_text
+        from repro.perf.cache import build_automaton_cached
+
+        grammar = load_text(
+            "%algorithm ielr\ns : 'a' s | 'b' ;", name="directive"
+        )
+        automaton = build_automaton_cached(grammar, cache, None)
+        assert isinstance(automaton, IELRAutomaton)

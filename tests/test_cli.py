@@ -246,3 +246,113 @@ class TestRobustCLI:
         assert data["complete"] is True
         assert data["conflicts"] == 0
         assert data["reports"] == []
+
+
+class TestTableAlgorithm:
+    def test_ielr_dissolves_nonlalr_conflicts(self, capsys):
+        exit_code = main(["--corpus", "nonlalr01", "--table-algorithm", "ielr"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "no conflicts" in output
+        assert "minimal" in output
+
+    def test_lalr_default_still_conflicts(self, capsys):
+        exit_code = main(["--corpus", "nonlalr01", "--quiet"])
+        assert exit_code == 1
+        assert "2 conflicts" in capsys.readouterr().out
+
+    def test_unknown_algorithm_is_a_structured_error(self, capsys):
+        """The fix under test: an unknown table_algorithm exits through
+        the CLI error path (exit 2, 'error:' on stderr), never a bare
+        ValueError traceback."""
+        exit_code = main(["--corpus", "nonlalr01", "--table-algorithm", "bogus"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
+        assert "unknown table algorithm 'bogus'" in captured.err
+        assert "lalr, ielr, lr1" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_directive_algorithm_carries_source_line(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.y"
+        path.write_text("%algorithm bogus\ns : 'a' ;\n")
+        assert main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err
+        assert "unknown table algorithm" in err
+
+    def test_directive_respected_without_flag(self, tmp_path, capsys):
+        path = tmp_path / "nonlalr.y"
+        path.write_text(
+            "%algorithm ielr\n"
+            "s : 'a' X 'd' | 'a' Y 'e' | 'b' X 'e' | 'b' Y 'd' ;\n"
+            "X : 'c' ;\nY : 'c' ;\n"
+        )
+        assert main([str(path)]) == 0
+        assert "no conflicts" in capsys.readouterr().out
+
+
+class TestProvenance:
+    def test_provenance_flag_annotates_reports(self, capsys):
+        exit_code = main(["--corpus", "nonlalr01", "--provenance"])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "Provenance: LALR merge artifact" in output
+        assert "splits into minimal-LR(1) states" in output
+
+    def test_genuine_verdict(self, capsys):
+        main(["--corpus", "nonlalr03-genuine", "--provenance"])
+        assert "Provenance: genuine LR(1) conflict" in capsys.readouterr().out
+
+    def test_default_output_has_no_provenance_line(self, capsys):
+        main(["--corpus", "nonlalr01"])
+        assert "Provenance" not in capsys.readouterr().out
+
+    def test_robust_report_includes_provenance(self, tmp_path):
+        import json
+
+        destination = tmp_path / "robust.json"
+        main(
+            [
+                "--corpus",
+                "nonlalr01",
+                "--provenance",
+                "--quiet",
+                "--robust-report",
+                str(destination),
+            ]
+        )
+        document = json.loads(destination.read_text())
+        verdicts = {entry["provenance"]["verdict"] for entry in document["reports"]}
+        assert verdicts == {"LALR merge artifact"}
+
+
+class TestAlgorithmCache:
+    def test_cache_hits_per_algorithm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "--corpus",
+                        "nonlalr01",
+                        "--table-algorithm",
+                        "ielr",
+                        "--cache-dir",
+                        cache_dir,
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        # Different construction, same grammar: a distinct cache entry,
+        # so the LALR run still reports its conflicts.
+        assert (
+            main(
+                ["--corpus", "nonlalr01", "--quiet", "--cache-dir", cache_dir]
+            )
+            == 1
+        )
+        assert "2 conflicts" in capsys.readouterr().out

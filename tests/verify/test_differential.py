@@ -46,3 +46,36 @@ class TestDescribe:
         text = report.describe()
         assert "figure3" in text
         assert "consistent" in text
+
+
+class TestIELRAgreement:
+    """The minimal-LR(1) construction checked as a fourth pipeline."""
+
+    @pytest.mark.parametrize("name", ["nonlalr01", "nonlalr02"])
+    def test_nonlalr_grammar_consistent(self, name):
+        """The grammars whose whole point is LALR/LR(1) divergence must
+        still satisfy every cross-construction invariant."""
+        report = DifferentialOracle(load(name), seed=5).check()
+        assert report.ok, report.describe()
+        assert not any("ielr" in reason for reason in report.skipped)
+
+    def test_broken_splitter_detected(self, monkeypatch):
+        """If the minimal construction stopped splitting, the oracle
+        must flag the manufactured conflicts it then carries."""
+        import repro.automaton.ielr as ielr_module
+        from repro.automaton import build_lalr
+
+        monkeypatch.setattr(
+            ielr_module, "build_ielr", lambda grammar, **kw: build_lalr(grammar)
+        )
+        report = DifferentialOracle(load("nonlalr01"), seed=5).check()
+        assert not report.ok
+        assert any(
+            d.check == "ielr-conflict-signatures" for d in report.disagreements
+        )
+
+    def test_nonproductive_grammar_skips_lalr_invariants(self):
+        grammar = load_grammar("n0 : 'a' | 'b' n1 ;\nn1 : n1 'c' ;")
+        report = DifferentialOracle(grammar, seed=2).check()
+        assert report.ok, report.describe()
+        assert any("ielr-agreement" in reason for reason in report.skipped)
