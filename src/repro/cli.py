@@ -89,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--ambiguity",
+        action="store_true",
+        help=(
+            "annotate each conflict with a static ambiguity verdict from "
+            "a bounded SR-automaton pair walk: proved unambiguous, proved "
+            "ambiguous (with a witness sentence), or inconclusive"
+        ),
+    )
+    parser.add_argument(
         "--states",
         action="store_true",
         help="also print the LALR automaton (states, items, lookaheads)",
@@ -368,6 +377,7 @@ def main(argv: list[str] | None = None) -> int:
     except GrammarError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    cache = None
     if args.cache_dir is not None:
         from repro.perf.cache import AutomatonCache, build_automaton_cached
 
@@ -416,6 +426,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.automaton import annotate_provenance
 
         annotate_provenance(summary.reports, automaton)
+
+    if args.ambiguity:
+        from repro.perf.cache import analyze_conflicts_cached
+
+        mapping = analyze_conflicts_cached(automaton, cache)
+        for report in summary.reports:
+            ambiguity = mapping.get(report.conflict)
+            if ambiguity is not None:
+                report.ambiguity = ambiguity
 
     if not args.quiet:
         for report in summary.reports:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.walk import ConflictAmbiguity
 from repro.automaton.conflicts import Conflict
 from repro.automaton.ielr import ConflictProvenance
 from repro.automaton.lalr import LALRAutomaton, build_lalr
@@ -88,6 +89,10 @@ class FinderReport:
     #: :func:`repro.automaton.ielr.annotate_provenance`; ``None`` unless
     #: provenance analysis ran.
     provenance: ConflictProvenance | None = None
+    #: Static ambiguity verdict from the SR pair walk, attached after
+    #: the fact by :func:`repro.analysis.annotate_ambiguity`; ``None``
+    #: unless ambiguity analysis ran.
+    ambiguity: ConflictAmbiguity | None = None
 
     @property
     def degraded(self) -> bool:

@@ -47,6 +47,8 @@ def format_report(report: FinderReport) -> str:
     lines = [f"Warning : {conflict.describe()}"]
     if report.provenance is not None:
         lines.append(f"Provenance: {report.provenance.describe()}")
+    if report.ambiguity is not None:
+        lines.append(f"Ambiguity : {report.ambiguity.describe()}")
 
     if example is None:
         if report.stub is not None:
@@ -126,6 +128,17 @@ def report_to_json(report: FinderReport) -> dict[str, Any]:
             "verdict": report.provenance.verdict.value,
             "split_states": list(report.provenance.split_states),
             "detail": report.provenance.detail,
+        }
+    if report.ambiguity is not None:
+        entry["ambiguity"] = {
+            "verdict": report.ambiguity.verdict.value,
+            "witness": (
+                [str(t) for t in report.ambiguity.witness]
+                if report.ambiguity.witness is not None
+                else None
+            ),
+            "detail": report.ambiguity.detail,
+            "nodes": report.ambiguity.nodes,
         }
     if report.stub is not None:
         entry["stub"] = {

@@ -68,6 +68,22 @@ class LintContext:
             self.lr1_capped = True
             return None
 
+    @cached_property
+    def ambiguity_verdicts(self):
+        """Per-conflict SR-walk ambiguity verdicts (empty if conflict-free)."""
+        from repro.analysis import analyze_conflicts
+
+        return analyze_conflicts(self.automaton)
+
+    @cached_property
+    def provenance(self):
+        """Per-conflict genuine/merge-artifact classification."""
+        from repro.automaton.ielr import classify_conflicts
+
+        return classify_conflicts(
+            self.automaton, max_lr1_states=self.max_lr1_states
+        )
+
     # ------------------------------------------------------------------ #
     # Span helpers
 

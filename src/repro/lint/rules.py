@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.analysis import AmbiguityVerdict
 from repro.automaton.conflicts import ConflictKind
+from repro.automaton.ielr import ProvenanceVerdict
 from repro.grammar import (
     Nonterminal,
     Production,
@@ -448,6 +450,65 @@ class DeepPriorityConflict(LintPass):
 
 
 @register
+class ProvedAmbiguous(LintPass):
+    rule_id = "proved-ambiguous"
+    severity = Severity.ERROR
+    title = "Conflict proved to be genuine ambiguity"
+    rationale = (
+        "A bounded SR-automaton pair walk found one sentence with two "
+        "distinct derivations through this conflict: the grammar is "
+        "ambiguous, not merely hard for the table construction, and no "
+        "stronger construction or precedence shuffle can fix it without "
+        "changing the productions."
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for conflict, verdict in ctx.ambiguity_verdicts.items():
+            if verdict.verdict is not AmbiguityVerdict.AMBIGUOUS:
+                continue
+            witness = " ".join(t.name for t in verdict.witness or ())
+            yield self.diagnostic(
+                f"{conflict.kind.value} conflict in state "
+                f"{conflict.state_id} on {conflict.terminal} is a proved "
+                f"ambiguity: sentence {witness!r} has two distinct "
+                "derivations",
+                span=ctx.production_span(conflict.reduce_item.production),
+                fix_hint=(
+                    "restructure the conflicting productions (or add "
+                    "precedence to pick one reading) so only a single "
+                    "derivation survives"
+                ),
+            )
+
+
+@register
+class PotentiallyAmbiguous(LintPass):
+    rule_id = "potentially-ambiguous"
+    severity = Severity.INFO
+    title = "Conflict not proved harmless within the walk budget"
+    rationale = (
+        "The SR pair walk neither proved this conflict unambiguous nor "
+        "found a two-derivation witness before its budget ran out; the "
+        "conflict deserves a human look (or a larger walk budget)."
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for conflict, verdict in ctx.ambiguity_verdicts.items():
+            if verdict.verdict is not AmbiguityVerdict.INCONCLUSIVE:
+                continue
+            yield self.diagnostic(
+                f"{conflict.kind.value} conflict in state "
+                f"{conflict.state_id} on {conflict.terminal} is "
+                f"potentially ambiguous ({verdict.detail})",
+                span=ctx.production_span(conflict.reduce_item.production),
+                fix_hint=(
+                    "run the counterexample finder for an explanation, or "
+                    "rerun the walk with a larger node budget"
+                ),
+            )
+
+
+@register
 class LrClassSummary(LintPass):
     rule_id = "lr-class"
     severity = Severity.INFO
@@ -490,6 +551,18 @@ class LrClassSummary(LintPass):
         lr1 = ctx.lr1
         if lr1 is not None and not lr1.has_conflicts():
             message = f"grammar is LR(1) but not LALR(1): {detail}"
+            provenance = ctx.provenance
+            artifacts = sum(
+                1
+                for entry in provenance.values()
+                if entry.verdict is ProvenanceVerdict.MERGE_ARTIFACT
+            )
+            if provenance and artifacts == len(provenance):
+                message += (
+                    f"; all {artifacts} conflicts are LALR merge artifacts "
+                    "— declare %algorithm ielr (or lr1) to build "
+                    "conflict-free tables for this grammar"
+                )
         elif lr1 is None:
             message = (
                 f"grammar is not LALR(1): {detail}; canonical LR(1) "
@@ -504,3 +577,4 @@ class LrClassSummary(LintPass):
             severity=Severity.WARNING,
             fix_hint="run the counterexample finder for per-conflict explanations",
         )
+

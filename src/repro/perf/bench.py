@@ -71,6 +71,8 @@ PHASES = [
     "automaton/lr0",
     "automaton/lookaheads",
     "analysis",
+    "analysis/sr",
+    "analysis/walk",
     "tables",
     "explain",
     "explain/lasg",
@@ -151,8 +153,24 @@ def _bench_grammar(
         "flat": len(dump_automaton(automaton, compact=False).encode("utf-8")),
         "compact": len(dump_automaton(automaton, compact=True).encode("utf-8")),
     }
+    # Static ambiguity verdicts: deterministic (node-budget-only walks),
+    # timed in their own collection so finder totals stay comparable
+    # against pre-analysis baselines.
+    from repro.analysis import analyze_conflicts
+
+    with metrics.collecting() as analysis_collector:
+        verdicts = analyze_conflicts(automaton)
+    ambiguity_verdicts = {"unambiguous": 0, "ambiguous": 0, "inconclusive": 0}
+    for verdict in verdicts.values():
+        ambiguity_verdicts[verdict.verdict.value] += 1
+    for phase in ("analysis/sr", "analysis/walk"):
+        if analysis_collector.span_count(phase):
+            phase_samples.setdefault(phase, []).append(
+                analysis_collector.span_total(phase)
+            )
     return {
         "conflicts": conflicts,
+        "ambiguity_verdicts": ambiguity_verdicts,
         "cache_entry_bytes": cache_entry_bytes,
         "total_s": round(statistics.median(totals), 6),
         "phases": {

@@ -38,10 +38,18 @@ Usage::
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
 from pathlib import Path
 
+from repro.analysis import (
+    ANALYSIS_VERSION,
+    AmbiguityVerdict,
+    ConflictAmbiguity,
+    analyze_conflicts,
+)
+from repro.automaton.conflicts import Conflict
 from repro.automaton.lalr import LALRAutomaton, build_lalr
 from repro.automaton.serialize import (
     FULL_FORMAT_VERSION,
@@ -76,12 +84,14 @@ def grammar_fingerprint(grammar: Grammar, algorithm: str = "lalr") -> str:
     requested — the minimal/canonical LR(1) automatons of one grammar
     are distinct cache entries from its LALR automaton. The grammar's
     *name* is deliberately excluded — it is diagnostic metadata and does
-    not affect the automaton. The serialization format version is folded
-    in so format changes self-invalidate old entries.
+    not affect the automaton. The serialization format version and the
+    ambiguity-analysis version are folded in so format or walk-semantics
+    changes self-invalidate old entries (including memoized verdicts).
     """
     canonical = dump_grammar(grammar)
     payload = (
-        f"repro.automaton/{FULL_FORMAT_VERSION}/{algorithm}\n{canonical}".encode()
+        f"repro.automaton/{FULL_FORMAT_VERSION}"
+        f"/a{ANALYSIS_VERSION}/{algorithm}\n{canonical}".encode()
     )
     return hashlib.sha256(payload).hexdigest()
 
@@ -155,6 +165,115 @@ class AutomatonCache:
             raise
         return path
 
+    def get_verdicts(
+        self, grammar: Grammar, automaton: LALRAutomaton
+    ) -> dict[Conflict, ConflictAmbiguity] | None:
+        """Memoized ambiguity verdicts for *automaton*, or ``None``.
+
+        The verdicts ride inside the cached automaton document as an
+        optional ``"ambiguity"`` block — unknown to (and ignored by) the
+        serialization readers, so a verdict-bearing entry stays loadable
+        by any v3-aware decoder. A block from a different analysis
+        version, or one whose conflicts disagree with the automaton's
+        (hash collision, hand-edited file), is a miss.
+        """
+        path = self._path_for(grammar_fingerprint(grammar, automaton.algorithm))
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        block = document.get("ambiguity") if isinstance(document, dict) else None
+        if not isinstance(block, dict):
+            return None
+        if block.get("analysis_version") != ANALYSIS_VERSION:
+            return None
+        entries = block.get("verdicts")
+        conflicts = automaton.tables.conflicts
+        if not isinstance(entries, list) or len(entries) != len(conflicts):
+            return None
+        terminals = {t.name: t for t in automaton.grammar.terminals}
+        verdicts: dict[Conflict, ConflictAmbiguity] = {}
+        try:
+            for conflict, entry in zip(conflicts, entries):
+                if (
+                    entry["state"] != conflict.state_id
+                    or entry["terminal"] != conflict.terminal.name
+                ):
+                    return None
+                witness = entry["witness"]
+                verdicts[conflict] = ConflictAmbiguity(
+                    verdict=AmbiguityVerdict(entry["verdict"]),
+                    witness=(
+                        tuple(terminals[name] for name in witness)
+                        if witness is not None
+                        else None
+                    ),
+                    detail=entry["detail"],
+                    nodes=entry["nodes"],
+                )
+        except (KeyError, TypeError, ValueError):
+            return None
+        metrics.count("cache.verdicts.hit")
+        return verdicts
+
+    def put_verdicts(
+        self,
+        grammar: Grammar,
+        automaton: LALRAutomaton,
+        verdicts: dict[Conflict, ConflictAmbiguity],
+    ) -> Path | None:
+        """Attach *verdicts* to the cached entry for *automaton*.
+
+        Requires a complete verdict map (one per reported conflict);
+        partial maps are not stored. When no cache entry exists yet the
+        automaton itself is serialized first, so verdict memoization
+        works even for runs that built the automaton uncached.
+        """
+        conflicts = automaton.tables.conflicts
+        if any(conflict not in verdicts for conflict in conflicts):
+            return None
+        path = self._path_for(grammar_fingerprint(grammar, automaton.algorithm))
+        try:
+            document = json.loads(path.read_text())
+            if not isinstance(document, dict):
+                raise ValueError("corrupt cache entry")
+        except (OSError, ValueError):
+            self.put(grammar, automaton)
+            document = json.loads(path.read_text())
+        document["ambiguity"] = {
+            "analysis_version": ANALYSIS_VERSION,
+            "verdicts": [
+                {
+                    "state": conflict.state_id,
+                    "terminal": conflict.terminal.name,
+                    "verdict": verdicts[conflict].verdict.value,
+                    "witness": (
+                        [t.name for t in verdicts[conflict].witness]
+                        if verdicts[conflict].witness is not None
+                        else None
+                    ),
+                    "detail": verdicts[conflict].detail,
+                    "nodes": verdicts[conflict].nodes,
+                }
+                for conflict in conflicts
+            ],
+        }
+        text = json.dumps(document, separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
         removed = 0
@@ -211,6 +330,31 @@ def build_automaton_cached(
     automaton = build_automaton(grammar, algorithm)
     cache.put(grammar, automaton)
     return automaton
+
+
+def analyze_conflicts_cached(
+    automaton: LALRAutomaton,
+    cache: AutomatonCache | None,
+    **options,
+) -> dict[Conflict, ConflictAmbiguity]:
+    """:func:`repro.analysis.analyze_conflicts` through an optional cache.
+
+    With ``cache=None`` — or with any non-default walk *options*, which
+    would make memoized verdicts incomparable — this is exactly
+    ``analyze_conflicts``. Otherwise verdicts are read from (and written
+    back to) the ``"ambiguity"`` block of the grammar's cache entry.
+    """
+    if cache is None or options:
+        return analyze_conflicts(automaton, **options)
+    cached = cache.get_verdicts(automaton.grammar, automaton)
+    if cached is not None:
+        return cached
+    verdicts = analyze_conflicts(automaton)
+    try:
+        cache.put_verdicts(automaton.grammar, automaton, verdicts)
+    except OSError:
+        pass  # a read-only cache directory must not fail the analysis
+    return verdicts
 
 
 def build_lalr_cached(

@@ -23,6 +23,7 @@ from repro.verify.harness import (
 from repro.verify.validate import (
     CounterexampleValidator,
     ValidationResult,
+    validate_ambiguity_witness,
     validate_counterexample,
 )
 
@@ -40,5 +41,6 @@ __all__ = [
     "ValidationResult",
     "grammar_strategy",
     "run_fuzz_campaign",
+    "validate_ambiguity_witness",
     "validate_counterexample",
 ]

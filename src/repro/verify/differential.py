@@ -33,6 +33,15 @@ random derivation, negative samples by random token strings):
   grammars);
 * a grammar with zero unresolved conflicts never yields two distinct GLR
   parses (conflict-free LALR implies unambiguous).
+
+Static-analysis invariants tying the SR pair walk
+(:mod:`repro.analysis`) to the runtimes:
+
+* every conflict the walk proves ``ambiguous`` carries a witness
+  sentence for which the Earley oracle finds two distinct derivations;
+* a grammar whose conflicts are **all** proved ``unambiguous`` (with no
+  precedence-resolved table entries hiding further conflicts) never
+  yields an ambiguous sampled sentence.
 """
 
 from __future__ import annotations
@@ -128,6 +137,7 @@ class DifferentialOracle:
             self._check_lr1_agreement(report, lr1)
             self._check_ielr_agreement(report, lr1)
         self._check_runtime_agreement(report)
+        self._check_ambiguity_agreement(report)
         return report
 
     # ------------------------------------------------------------------ #
@@ -386,6 +396,92 @@ class DifferentialOracle:
                         "lr-incomplete",
                         f"conflict-free tables reject {rendered!r} which "
                         "Earley recognises",
+                    )
+                )
+
+    def _check_ambiguity_agreement(self, report: DifferentialReport) -> None:
+        """The SR pair walk must never contradict the Earley oracle.
+
+        Every ``ambiguous`` verdict's witness is re-counted by Earley
+        (< 2 derivations is a disagreement), and when *every* conflict
+        is proved ``unambiguous`` — and no precedence-resolved entries
+        hide further nondeterminism — no sampled sentence may be
+        ambiguous. Walker exceptions propagate: the fuzz harness
+        classifies them as crashes (broken-walker canary).
+        """
+        conflicts = self.automaton.tables.conflicts
+        if not conflicts:
+            return
+        from repro.analysis import AmbiguityVerdict, analyze_conflicts
+        from repro.parsing.earley import DerivationBudgetExceeded
+
+        verdicts = analyze_conflicts(self.automaton)
+        earley = EarleyParser(self.grammar)
+        step_budget = 200_000
+        start = self.grammar.start
+        for conflict, verdict in verdicts.items():
+            if verdict.verdict is not AmbiguityVerdict.AMBIGUOUS:
+                continue
+            witness = list(verdict.witness or ())
+            rendered = " ".join(t.name for t in witness) or "<empty>"
+            try:
+                count = earley.count_derivations(
+                    start, witness, limit=2, step_budget=step_budget
+                )
+            except DerivationBudgetExceeded:
+                report.skipped.append(
+                    "ambiguity-agreement: derivation count ran out of "
+                    f"budget on {rendered!r}"
+                )
+                continue
+            if count < 2:
+                report.disagreements.append(
+                    Disagreement(
+                        "ambiguity-witness-invalid",
+                        f"the SR walk claims {rendered!r} has two "
+                        f"derivations for [{conflict}] but Earley finds "
+                        f"{count}",
+                    )
+                )
+        if any(
+            verdict.verdict is not AmbiguityVerdict.UNAMBIGUOUS
+            for verdict in verdicts.values()
+        ):
+            return
+        if self.automaton.tables.resolved_count:
+            report.skipped.append(
+                "ambiguity-agreement: precedence-resolved entries hide "
+                "conflicts the walk never saw"
+            )
+            return
+        if start in self.grammar.nonproductive_nonterminals:
+            report.skipped.append(
+                "ambiguity-agreement: start symbol nonproductive"
+            )
+            return
+        rng = random.Random(self.seed + 1)
+        for _ in range(self.num_samples):
+            sentence = self._sample_sentence(rng)
+            if sentence is None:
+                continue
+            report.samples_checked += 1
+            rendered = " ".join(t.name for t in sentence) or "<empty>"
+            try:
+                count = earley.count_derivations(
+                    start, sentence, limit=2, step_budget=step_budget
+                )
+            except DerivationBudgetExceeded:
+                report.skipped.append(
+                    "ambiguity-agreement: derivation count ran out of "
+                    f"budget on {rendered!r}"
+                )
+                continue
+            if count >= 2:
+                report.disagreements.append(
+                    Disagreement(
+                        "ambiguous-despite-unambiguous-verdicts",
+                        f"every conflict proved unambiguous but "
+                        f"{rendered!r} has two distinct derivations",
                     )
                 )
 

@@ -101,6 +101,12 @@ class FuzzReport:
     #: minimal LR(1) state splitting) vs genuine LR(1) conflicts.
     merge_artifacts: int = 0
     genuine_conflicts: int = 0
+    #: SR pair-walk verdict tallies; together they cover every conflict
+    #: the walker examined (unambiguous + ambiguous + inconclusive ==
+    #: conflicts, barring a walker crash — which is itself fatal).
+    ambiguity_unambiguous: int = 0
+    ambiguity_ambiguous: int = 0
+    ambiguity_inconclusive: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     elapsed: float = 0.0
 
@@ -133,6 +139,9 @@ class FuzzReport:
             f"lint diagnostics: {self.lint_diagnostics}",
             f"  conflict provenance: {self.genuine_conflicts} genuine LR(1), "
             f"{self.merge_artifacts} LALR merge artifacts",
+            f"  ambiguity verdicts: {self.ambiguity_unambiguous} unambiguous, "
+            f"{self.ambiguity_ambiguous} ambiguous, "
+            f"{self.ambiguity_inconclusive} inconclusive",
             "  failures: "
             + ", ".join(f"{name}={count}" for name, count in counts.items()),
         ]
@@ -157,6 +166,9 @@ class _Examination:
     lint_diagnostics: int = 0
     merge_artifacts: int = 0
     genuine: int = 0
+    ambiguity_unambiguous: int = 0
+    ambiguity_ambiguous: int = 0
+    ambiguity_inconclusive: int = 0
     problems: list[tuple[FailureKind, str]] = field(default_factory=list)
 
     def problem_kinds(self) -> set[FailureKind]:
@@ -176,6 +188,12 @@ class FuzzHarness:
             LALR merge artifact (exercising the minimal-LR(1) splitter on
             each conflicted fuzz grammar); classification crashes are
             fatal campaign failures.
+        ambiguity_check: Run the bounded SR pair walk
+            (:mod:`repro.analysis`) on every conflict, tallying the
+            unambiguous/ambiguous/inconclusive verdicts; every
+            ``ambiguous`` witness is re-proven by the independent
+            validator (a rejection is a fatal campaign failure), and a
+            walker crash is fatal too (broken-walker canary).
         glr_check: Ask the validator for the GLR cross-check as well.
         lint_check: Run every static lint pass on each fuzzed grammar;
             any pass crash is classified as a fatal campaign failure
@@ -205,6 +223,7 @@ class FuzzHarness:
         cumulative_limit: float = 2.0,
         differential: bool = True,
         provenance_check: bool = True,
+        ambiguity_check: bool = True,
         glr_check: bool = True,
         lint_check: bool = True,
         shrink: bool = True,
@@ -220,6 +239,7 @@ class FuzzHarness:
         self.cumulative_limit = cumulative_limit
         self.differential = differential
         self.provenance_check = provenance_check
+        self.ambiguity_check = ambiguity_check
         self.glr_check = glr_check
         self.lint_check = lint_check
         self.shrink = shrink
@@ -287,6 +307,9 @@ class FuzzHarness:
         report.lint_diagnostics += examination.lint_diagnostics
         report.merge_artifacts += examination.merge_artifacts
         report.genuine_conflicts += examination.genuine
+        report.ambiguity_unambiguous += examination.ambiguity_unambiguous
+        report.ambiguity_ambiguous += examination.ambiguity_ambiguous
+        report.ambiguity_inconclusive += examination.ambiguity_inconclusive
         if examination.conflicts:
             report.grammars_with_conflicts += 1
 
@@ -310,6 +333,36 @@ class FuzzHarness:
 
     # ------------------------------------------------------------------ #
     # One grammar through the whole loop
+
+    def _check_witness(
+        self, grammar: Grammar, conflict, verdict, result: _Examination
+    ) -> None:
+        """Re-prove one ``ambiguous`` verdict's witness independently."""
+        from repro.verify.validate import CounterexampleValidator
+
+        try:
+            outcome = CounterexampleValidator(
+                grammar,
+                glr_check=False,
+                earley_step_budget=self.verify_step_budget,
+            ).validate_witness(verdict.witness or ())
+        except Exception as error:  # noqa: BLE001
+            result.problems.append(
+                (
+                    FailureKind.CRASH,
+                    f"ambiguity witness validation raised {error!r} on "
+                    f"[{conflict}]",
+                )
+            )
+            return
+        if not outcome.ok:
+            result.problems.append(
+                (
+                    FailureKind.VALIDATOR_REJECTION,
+                    f"ambiguity witness for [{conflict}] rejected: "
+                    + "; ".join(outcome.failures),
+                )
+            )
 
     def _examine(self, grammar: Grammar, seed: int) -> _Examination:
         result = _Examination()
@@ -397,6 +450,25 @@ class FuzzHarness:
                         result.merge_artifacts += 1
                     elif entry.verdict is ProvenanceVerdict.GENUINE:
                         result.genuine += 1
+
+        if self.ambiguity_check and automaton.conflicts:
+            from repro.analysis import AmbiguityVerdict, analyze_conflicts
+
+            try:
+                verdicts = analyze_conflicts(automaton)
+            except Exception as error:  # noqa: BLE001
+                result.problems.append(
+                    (FailureKind.CRASH, f"ambiguity walk raised {error!r}")
+                )
+            else:
+                for conflict, verdict in verdicts.items():
+                    if verdict.verdict is AmbiguityVerdict.UNAMBIGUOUS:
+                        result.ambiguity_unambiguous += 1
+                    elif verdict.verdict is AmbiguityVerdict.AMBIGUOUS:
+                        result.ambiguity_ambiguous += 1
+                        self._check_witness(grammar, conflict, verdict, result)
+                    else:
+                        result.ambiguity_inconclusive += 1
 
         result.conflicts = summary.num_conflicts
         result.unifying = summary.num_unifying

@@ -144,6 +144,48 @@ class CounterexampleValidator:
             return self._validate_unifying(counterexample)
         return self._validate_nonunifying(counterexample)
 
+    def validate_witness(
+        self, witness: tuple[Terminal, ...]
+    ) -> ValidationResult:
+        """Re-prove a static-analysis ambiguity witness.
+
+        The SR pair walk (:mod:`repro.analysis`) claims *witness* is a
+        sentence of the grammar with two distinct derivations; nothing
+        of the walk is trusted here — the Earley oracle (and optionally
+        the GLR runtime) re-counts derivations from the start symbol.
+        """
+        checks = _Checks()
+        root = self.grammar.start
+        form = tuple(witness)
+        if not checks.record(
+            "witness-is-sentence",
+            all(
+                symbol.is_terminal and symbol != END_OF_INPUT
+                for symbol in form
+            ),
+            f"{format_symbols(form)!r} contains nonterminals or $",
+        ):
+            return checks.result("witness")
+        try:
+            ambiguous = (
+                self._earley.count_derivations(
+                    root, form, limit=2, step_budget=self.earley_step_budget
+                )
+                >= 2
+            )
+        except DerivationBudgetExceeded:
+            checks.skip("earley-ambiguous", "derivation count ran out of budget")
+        else:
+            checks.record(
+                "earley-ambiguous",
+                ambiguous,
+                f"Earley finds < 2 derivations of {format_symbols(form)!r} "
+                f"from {root}",
+            )
+        if self.glr_check:
+            self._glr_ambiguity_check(checks, root, form)
+        return checks.result("witness")
+
     # ------------------------------------------------------------------ #
     # Unifying counterexamples: two distinct derivations, one form,
     # independently re-proven ambiguous.
@@ -428,4 +470,13 @@ def validate_counterexample(
     """One-shot convenience wrapper around :class:`CounterexampleValidator`."""
     return CounterexampleValidator(grammar, glr_check=glr_check).validate(
         counterexample
+    )
+
+
+def validate_ambiguity_witness(
+    grammar: Grammar, witness: tuple[Terminal, ...], glr_check: bool = False
+) -> ValidationResult:
+    """One-shot validation of an SR-walk ambiguity witness sentence."""
+    return CounterexampleValidator(grammar, glr_check=glr_check).validate_witness(
+        witness
     )

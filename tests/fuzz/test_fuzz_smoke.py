@@ -40,6 +40,13 @@ class TestSmokeCampaign:
         assert counts["oracle-disagreement"] == 0
         assert counts["crash"] == 0
         assert report.ok, report.describe()
+        # Every conflict gets exactly one ambiguity verdict.
+        verdicts = (
+            report.ambiguity_unambiguous
+            + report.ambiguity_ambiguous
+            + report.ambiguity_inconclusive
+        )
+        assert verdicts == report.conflicts
 
     def test_deterministic_across_runs(self):
         # The unifying/nonunifying/timeout split depends on wall-clock

@@ -16,12 +16,22 @@ GOLDEN_FIGURE7 = """\
 <figure7>:4: warning[lr-class]: grammar is not LR(1): 2 LALR conflicts (2 shift/reduce, 0 reduce/reduce) over 16 states (density 0.12 conflicts/state)
     hint: run the counterexample finder for per-conflict explanations
 <figure7>:4: info[unit-production]: unit production S ::= N
-lint: 0 errors, 2 warnings, 1 notes (12 rules on grammar 'figure7')"""
+<figure7>:6: error[proved-ambiguous]: shift/reduce conflict in state 7 on b is a proved ambiguity: sentence 'n a b c' has two distinct derivations
+    hint: restructure the conflicting productions (or add precedence to pick one reading) so only a single derivation survives
+<figure7>:6: error[proved-ambiguous]: shift/reduce conflict in state 7 on b is a proved ambiguity: sentence 'n a b c' has two distinct derivations
+    hint: restructure the conflicting productions (or add precedence to pick one reading) so only a single derivation survives
+lint: 2 errors, 2 warnings, 1 notes (14 rules on grammar 'figure7')"""
 
 GOLDEN_ABCD = """\
 <abcd>:4: warning[lr-class]: grammar is not LR(1): 3 LALR conflicts (3 shift/reduce, 0 reduce/reduce) over 18 states (density 0.17 conflicts/state)
     hint: run the counterexample finder for per-conflict explanations
-lint: 0 errors, 1 warnings, 0 notes (12 rules on grammar 'abcd')"""
+<abcd>:5: error[proved-ambiguous]: shift/reduce conflict in state 7 on c is a proved ambiguity: sentence 'a b c d' has two distinct derivations
+    hint: restructure the conflicting productions (or add precedence to pick one reading) so only a single derivation survives
+<abcd>:7: error[proved-ambiguous]: shift/reduce conflict in state 4 on b is a proved ambiguity: sentence 'a b c d' has two distinct derivations
+    hint: restructure the conflicting productions (or add precedence to pick one reading) so only a single derivation survives
+<abcd>:7: error[proved-ambiguous]: shift/reduce conflict in state 4 on b is a proved ambiguity: sentence 'a b c d' has two distinct derivations
+    hint: restructure the conflicting productions (or add precedence to pick one reading) so only a single derivation survives
+lint: 3 errors, 1 warnings, 0 notes (14 rules on grammar 'abcd')"""
 
 GOLDEN_CLEAN_JSON = """\
 <clean-json>:4: info[lr-class]: grammar is SLR(1) (hence LALR(1) and LR(1)); 22 states, no conflicts
@@ -31,7 +41,7 @@ GOLDEN_CLEAN_JSON = """\
 <clean-json>:12: info[unit-production]: unit production elements ::= items
 <clean-json>:13: info[left-recursion]: nonterminal items is left-recursive (fine for LR parsing; fatal for LL consumers)
 <clean-json>:13: info[unit-production]: unit production items ::= value
-lint: 0 errors, 0 warnings, 7 notes (12 rules on grammar 'clean-json')"""
+lint: 0 errors, 0 warnings, 7 notes (14 rules on grammar 'clean-json')"""
 
 
 def lint_text(name: str) -> str:
@@ -57,8 +67,10 @@ class TestFullTextGoldens:
         assert "warning[missing-operator-precedence]" in text
         assert "binary operator + in 'expr ::= expr + expr'" in text
         assert "3 LALR conflicts (3 shift/reduce, 0 reduce/reduce)" in text
+        assert "error[proved-ambiguous]" in text
+        assert "info[potentially-ambiguous]" in text
         assert text.endswith(
-            "lint: 0 errors, 3 warnings, 3 notes (12 rules on grammar 'figure1')"
+            "lint: 1 errors, 3 warnings, 5 notes (14 rules on grammar 'figure1')"
         )
 
 
@@ -67,13 +79,13 @@ class TestLargeGrammarCounts:
 
     def test_pascal1(self):
         report = run_lint(load("Pascal.1"))
-        assert report.counts() == {"info": 43, "warning": 4, "error": 0}
+        assert report.counts() == {"info": 50, "warning": 4, "error": 0}
         dangling = [d.message for d in report.by_rule("dangling-else")]
         assert any("ELSE" in message for message in dangling)
 
     def test_sql2(self):
         report = run_lint(load("SQL.2"))
-        assert report.counts() == {"info": 42, "warning": 4, "error": 0}
+        assert report.counts() == {"info": 43, "warning": 4, "error": 0}
         # The injected conflict shows up in the summary rule.
         (summary,) = report.by_rule("lr-class")
         assert "1 LALR conflicts" in summary.message

@@ -227,12 +227,76 @@ class TestLrClassSummary:
         assert "LR(1) but not LALR(1)" in diags[0].message
         assert diags[0].severity is Severity.WARNING
 
+    def test_merge_artifact_tier_recommends_algorithm_directive(self):
+        # When IELR provenance proves every conflict a merge artifact,
+        # the summary names the fix: switch the table algorithm.
+        diags = lint_rule(
+            "S : 'a' E 'a' | 'b' E 'b' | 'a' F 'b' | 'b' F 'a' ;"
+            "  E : 'e' ;  F : 'e' ;",
+            "lr-class",
+        )
+        assert len(diags) == 1
+        assert "merge artifacts" in diags[0].message
+        assert "%algorithm ielr" in diags[0].message
+
+    def test_genuinely_ambiguous_grammar_gets_no_algorithm_hint(self):
+        diags = lint_rule("e : e '+' e | ID ;", "lr-class")
+        assert len(diags) == 1
+        assert "%algorithm" not in diags[0].message
+
     def test_ambiguous_grammar_not_lr1(self):
         diags = lint_rule("e : e '+' e | ID ;", "lr-class")
         assert len(diags) == 1
         assert "not LR(1)" in diags[0].message
         assert "density" in diags[0].message
         assert diags[0].severity is Severity.WARNING
+
+
+class TestProvedAmbiguous:
+    def test_fires_on_proved_ambiguity(self):
+        diags = lint_rule("e : e '+' e | ID ;", "proved-ambiguous")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.ERROR
+        assert "two distinct derivations" in diags[0].message
+        assert "ID + ID + ID" in diags[0].message
+
+    def test_silent_on_unambiguous_conflicts(self):
+        from repro.corpus import load
+
+        # nonlalr01's conflicts are merge artifacts the walk proves
+        # unambiguous — an ERROR here would be a soundness bug.
+        report = run_lint(
+            load("nonlalr01"),
+            config=LintConfig(enabled=frozenset({"proved-ambiguous"})),
+        )
+        assert report.diagnostics == []
+
+    def test_silent_without_conflicts(self):
+        assert lint_rule("s : '(' s ')' | 'x' ;", "proved-ambiguous") == []
+
+
+class TestPotentiallyAmbiguous:
+    def test_fires_on_inconclusive_walk(self):
+        from repro.corpus import load
+
+        report = run_lint(
+            load("figure1"),
+            config=LintConfig(enabled=frozenset({"potentially-ambiguous"})),
+        )
+        assert report.diagnostics
+        assert all(
+            d.severity is Severity.INFO and "potentially ambiguous" in d.message
+            for d in report.diagnostics
+        )
+
+    def test_silent_when_all_verdicts_decided(self):
+        from repro.corpus import load
+
+        report = run_lint(
+            load("nonlalr01"),
+            config=LintConfig(enabled=frozenset({"potentially-ambiguous"})),
+        )
+        assert report.diagnostics == []
 
 
 class TestEveryRuleHasBothPolarities:
@@ -242,6 +306,8 @@ class TestEveryRuleHasBothPolarities:
         from repro.lint import rule_ids
 
         tested = {
+            "proved-ambiguous",
+            "potentially-ambiguous",
             "unreachable-nonterminal",
             "nonproductive-nonterminal",
             "derivation-cycle",
@@ -272,6 +338,8 @@ class TestEveryRuleHasBothPolarities:
         "dangling-else",
         "missing-operator-precedence",
         "deep-priority-conflict",
+        "proved-ambiguous",
+        "potentially-ambiguous",
     ],
 )
 def test_rule_silent_on_clean_control_grammar(rule_id):

@@ -1,0 +1,131 @@
+"""Ambiguity-verdict memoization in the content-addressed cache."""
+
+import json
+
+import pytest
+
+import repro.perf.cache as cache_module
+from repro.analysis import ANALYSIS_VERSION, AmbiguityVerdict, analyze_conflicts
+from repro.automaton import build_lalr
+from repro.automaton.serialize import load_automaton
+from repro.corpus import load
+from repro.perf import metrics
+from repro.perf.cache import (
+    AutomatonCache,
+    analyze_conflicts_cached,
+    grammar_fingerprint,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AutomatonCache(tmp_path)
+
+
+@pytest.fixture
+def genuine():
+    return load("nonlalr03-genuine")
+
+
+class TestVerdictRoundTrip:
+    def test_put_then_get_identical(self, cache, genuine):
+        automaton = build_lalr(genuine)
+        verdicts = analyze_conflicts(automaton)
+        assert cache.put_verdicts(genuine, automaton, verdicts) is not None
+        assert cache.get_verdicts(genuine, automaton) == verdicts
+
+    def test_memoized_hit_skips_the_walk(self, cache, genuine, monkeypatch):
+        automaton = build_lalr(genuine)
+        first = analyze_conflicts_cached(automaton, cache)
+
+        def explode(*args, **kwargs):
+            raise AssertionError("walked despite a cached verdict block")
+
+        monkeypatch.setattr(cache_module, "analyze_conflicts", explode)
+        second = analyze_conflicts_cached(automaton, cache)
+        assert second == first
+
+    def test_none_cache_is_a_passthrough(self, genuine):
+        automaton = build_lalr(genuine)
+        verdicts = analyze_conflicts_cached(automaton, None)
+        assert verdicts == analyze_conflicts(automaton)
+
+    def test_non_default_options_bypass_the_cache(self, cache, genuine):
+        # max_nodes=1 verdicts must not be served from (or poison) the
+        # default-budget entry.
+        automaton = build_lalr(genuine)
+        analyze_conflicts_cached(automaton, cache)
+        starved = analyze_conflicts_cached(automaton, cache, max_nodes=1)
+        assert starved == analyze_conflicts(automaton, max_nodes=1)
+        assert cache.get_verdicts(genuine, automaton) == analyze_conflicts(
+            automaton
+        )
+
+    def test_ambiguous_witness_survives_the_round_trip(self, cache, genuine):
+        automaton = build_lalr(genuine)
+        analyze_conflicts_cached(automaton, cache)
+        restored = cache.get_verdicts(genuine, automaton)
+        (verdict,) = restored.values()
+        assert verdict.verdict is AmbiguityVerdict.AMBIGUOUS
+        assert verdict.witness is not None
+        assert all(t.is_terminal for t in verdict.witness)
+
+    def test_hit_counter_moves(self, cache, genuine):
+        automaton = build_lalr(genuine)
+        analyze_conflicts_cached(automaton, cache)
+        with metrics.collecting() as collector:
+            analyze_conflicts_cached(automaton, cache)
+        assert collector.counters.get("cache.verdicts.hit") == 1
+
+
+class TestFormatCompatibility:
+    def test_verdict_block_invisible_to_automaton_reader(self, cache, genuine):
+        # A verdict-bearing entry must stay loadable by the plain
+        # serialization reader — the block is an ignored extra key.
+        automaton = build_lalr(genuine)
+        analyze_conflicts_cached(automaton, cache)
+        path = cache._path_for(grammar_fingerprint(genuine))
+        restored = load_automaton(path.read_text())
+        assert [str(c) for c in restored.conflicts] == [
+            str(c) for c in automaton.conflicts
+        ]
+
+    def test_entry_without_block_is_a_verdict_miss(self, cache, genuine):
+        automaton = build_lalr(genuine)
+        cache.put(genuine, automaton)
+        assert cache.get_verdicts(genuine, automaton) is None
+
+    def test_wrong_analysis_version_is_a_miss(self, cache, genuine):
+        automaton = build_lalr(genuine)
+        analyze_conflicts_cached(automaton, cache)
+        path = cache._path_for(grammar_fingerprint(genuine))
+        document = json.loads(path.read_text())
+        document["ambiguity"]["analysis_version"] = ANALYSIS_VERSION + 1
+        path.write_text(json.dumps(document))
+        assert cache.get_verdicts(genuine, automaton) is None
+
+    def test_conflict_mismatch_is_a_miss(self, cache, genuine):
+        automaton = build_lalr(genuine)
+        analyze_conflicts_cached(automaton, cache)
+        path = cache._path_for(grammar_fingerprint(genuine))
+        document = json.loads(path.read_text())
+        document["ambiguity"]["verdicts"][0]["state"] += 1
+        path.write_text(json.dumps(document))
+        assert cache.get_verdicts(genuine, automaton) is None
+
+    def test_partial_verdict_map_not_stored(self, cache):
+        grammar = load("nonlalr01")
+        automaton = build_lalr(grammar)
+        assert len(automaton.tables.conflicts) == 2
+        verdicts = analyze_conflicts(automaton)
+        partial = dict(list(verdicts.items())[:1])
+        assert cache.put_verdicts(grammar, automaton, partial) is None
+        assert cache.get_verdicts(grammar, automaton) is None
+
+    def test_analysis_version_folds_into_the_fingerprint(self, genuine):
+        # The fold means stale verdict blocks can never even be looked
+        # up after an analysis-version bump: the whole key moves.
+        payload_version = cache_module.ANALYSIS_VERSION
+        fingerprint = grammar_fingerprint(genuine)
+        assert f"a{payload_version}" not in fingerprint  # key is hashed
+        assert len(fingerprint) == len(grammar_fingerprint(load("nonlalr01")))

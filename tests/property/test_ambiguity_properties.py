@@ -1,0 +1,78 @@
+"""Property-based tests on the SR pair-walk ambiguity analysis.
+
+Over a few hundred sampled random grammars:
+
+* every conflict gets exactly one verdict, deterministically;
+* an ``ambiguous`` verdict's witness really has two Earley derivations
+  (walk-never-contradicts-the-oracle, the differential invariant);
+* starving the budget degrades any verdict to ``inconclusive`` at
+  worst — never a witness-free ambiguity claim, never an exception.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AmbiguityVerdict, analyze_conflicts
+from repro.automaton import build_lalr
+from repro.grammar import GrammarBuilder
+from repro.parsing import DerivationBudgetExceeded, EarleyParser
+
+NONTERMINALS = ["n0", "n1", "n2"]
+TERMINALS = ["a", "b", "c"]
+
+
+@st.composite
+def random_grammars(draw):
+    builder = GrammarBuilder("random")
+    for lhs in NONTERMINALS:
+        count = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(count):
+            length = draw(st.integers(min_value=0, max_value=3))
+            rhs = [
+                draw(st.sampled_from(NONTERMINALS + TERMINALS))
+                for _ in range(length)
+            ]
+            builder.rule(lhs, rhs)
+    return builder.build(start="n0")
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_every_conflict_verdicted_deterministically(grammar):
+    automaton = build_lalr(grammar)
+    verdicts = analyze_conflicts(automaton)
+    assert set(verdicts) == set(automaton.tables.conflicts)
+    assert verdicts == analyze_conflicts(automaton)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_ambiguous_witnesses_recount_under_earley(grammar):
+    automaton = build_lalr(grammar)
+    if not automaton.tables.conflicts:
+        return
+    earley = EarleyParser(grammar)
+    for verdict in analyze_conflicts(automaton).values():
+        if verdict.verdict is not AmbiguityVerdict.AMBIGUOUS:
+            continue
+        assert verdict.witness is not None
+        try:
+            count = earley.count_derivations(
+                grammar.start,
+                list(verdict.witness),
+                limit=2,
+                step_budget=200_000,
+            )
+        except DerivationBudgetExceeded:
+            continue
+        assert count >= 2, " ".join(t.name for t in verdict.witness)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(random_grammars())
+def test_starved_budget_degrades_gracefully(grammar):
+    automaton = build_lalr(grammar)
+    for verdict in analyze_conflicts(automaton, max_nodes=1).values():
+        if verdict.verdict is AmbiguityVerdict.AMBIGUOUS:
+            assert verdict.witness is not None

@@ -79,22 +79,25 @@ class TestCLI:
 
 class TestLintCLI:
     def test_lint_text_output_labels_source_file(self, grammar_file, capsys):
-        # Dangling-else warnings only: exit 0 under the default
-        # --fail-on error threshold.
-        assert main([grammar_file, "--lint"]) == 0
+        # The dangling-else conflict is a proved ambiguity, so the
+        # default --fail-on error threshold trips.
+        assert main([grammar_file, "--lint"]) == 1
         output = capsys.readouterr().out
         assert "dangling.y:" in output
         assert "warning[dangling-else]" in output
+        assert "error[proved-ambiguous]" in output
         assert "lint:" in output
 
     def test_fail_on_warning_flips_exit_code(self, grammar_file):
         assert main([grammar_file, "--lint", "--fail-on", "warning"]) == 1
 
     def test_corpus_lint(self, capsys):
-        assert main(["--corpus", "figure7", "--lint"]) == 0
+        # figure7's conflicts are proved ambiguous, so lint exits 1.
+        assert main(["--corpus", "figure7", "--lint"]) == 1
         output = capsys.readouterr().out
         assert "<figure7>:" in output
         assert "warning[lr-class]" in output
+        assert "error[proved-ambiguous]" in output
 
     def test_clean_corpus_grammar_passes_fail_on_warning(self, capsys):
         assert main(
@@ -105,7 +108,7 @@ class TestLintCLI:
     def test_json_format(self, grammar_file, capsys):
         import json
 
-        assert main([grammar_file, "--lint", "--lint-format", "json"]) == 0
+        assert main([grammar_file, "--lint", "--lint-format", "json"]) == 1
         data = json.loads(capsys.readouterr().out)
         assert data["source"] == grammar_file
         assert any(d["rule"] == "dangling-else" for d in data["diagnostics"])
@@ -113,7 +116,7 @@ class TestLintCLI:
     def test_sarif_format(self, grammar_file, capsys):
         import json
 
-        assert main([grammar_file, "--lint", "--lint-format", "sarif"]) == 0
+        assert main([grammar_file, "--lint", "--lint-format", "sarif"]) == 1
         doc = json.loads(capsys.readouterr().out)
         assert doc["version"] == "2.1.0"
         assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
@@ -131,7 +134,8 @@ class TestLintCLI:
     def test_no_rule_suppression(self, grammar_file, capsys):
         assert main(
             [grammar_file, "--lint", "--no-rule", "dangling-else",
-             "--no-rule", "lr-class", "--fail-on", "warning"]
+             "--no-rule", "lr-class", "--no-rule", "proved-ambiguous",
+             "--fail-on", "warning"]
         ) == 0
         assert "dangling-else" not in capsys.readouterr().out
 
