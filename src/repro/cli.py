@@ -3,17 +3,26 @@
 Usage::
 
     repro-conflicts GRAMMAR.y [options]
+    repro-conflicts serve [options]
     python -m repro GRAMMAR.y [options]
     python -m repro --corpus figure1
 
 Prints one report per conflict, in the format of the paper's Figure 11.
+``serve`` boots the supervised analysis service (see docs/SERVICE.md).
+
+A campaign interrupted by SIGINT/SIGTERM cancels *structurally*: the
+in-flight conflict finishes degrading to a stub, the remaining conflicts
+are stubbed with a recorded cancellation, any ``--robust-report`` is
+still flushed (partial but well-formed), and the exit code is 130.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import time
 
 from repro.automaton import build_automaton
@@ -322,7 +331,43 @@ def _emit_profile(args: argparse.Namespace, collector) -> None:
                 print(f"error: cannot write profile: {error}", file=sys.stderr)
 
 
+def _install_cancel_handlers(token) -> dict | None:
+    """Route SIGINT/SIGTERM into *token*; returns the displaced handlers.
+
+    Signal handlers may only be installed from the main thread; embedded
+    callers (tests driving :func:`main` from a worker thread) simply skip
+    the installation and keep their own handling.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous: dict = {}
+
+    def handler(signum: int, frame) -> None:
+        token.cancel(f"received {signal.Signals(signum).name}")
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover — exotic platforms
+            pass
+    return previous
+
+
+def _restore_cancel_handlers(previous: dict | None) -> None:
+    for signum, handler in (previous or {}).items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.service.app import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     collector = None
@@ -413,13 +458,24 @@ def main(argv: list[str] | None = None) -> int:
         max_configurations=args.max_configurations,
         retry_timed_out=args.retry_timed_out,
     )
-    started = time.monotonic()
-    if args.jobs is not None and args.jobs != 1:
-        from repro.perf.parallel import explain_all_parallel
+    from repro.robust.budget import CancellationToken
 
-        summary = explain_all_parallel(automaton, jobs=args.jobs, **finder_kwargs)
-    else:
-        summary = CounterexampleFinder(automaton, **finder_kwargs).explain_all()
+    token = CancellationToken()
+    handlers = _install_cancel_handlers(token)
+    started = time.monotonic()
+    try:
+        if args.jobs is not None and args.jobs != 1:
+            from repro.perf.parallel import explain_all_parallel
+
+            summary = explain_all_parallel(
+                automaton, jobs=args.jobs, **finder_kwargs
+            )
+        else:
+            summary = CounterexampleFinder(
+                automaton, token=token, **finder_kwargs
+            ).explain_all()
+    finally:
+        _restore_cancel_handlers(handlers)
     elapsed = time.monotonic() - started
 
     if args.provenance:
@@ -460,10 +516,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.robust_report:
         # The robust contract: degradation is reported in-band, so the
         # exit code tracks report *completeness*, not conflict presence.
+        # An interrupted campaign still flushes its (partial) report
+        # before reporting the conventional 130.
         status = _write_robust_report(args.robust_report, summary)
         if status is not None:
             return status
+        if token.cancelled:
+            print(f"interrupted: {token.reason}", file=sys.stderr)
+            return 130
         return 0 if summary.complete else 1
+    if token.cancelled:
+        print(f"interrupted: {token.reason}", file=sys.stderr)
+        return 130
     return 1
 
 

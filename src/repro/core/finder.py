@@ -33,8 +33,10 @@ them.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.analysis.walk import ConflictAmbiguity
 from repro.automaton.conflicts import Conflict
@@ -62,6 +64,7 @@ from repro.robust.degrade import (
 )
 from repro.robust.errors import Cancelled
 from repro.robust.faults import fire
+from repro.robust.retry import NO_RETRY, RetryPolicy
 
 
 @dataclass
@@ -191,9 +194,10 @@ class CounterexampleFinder:
         verify: bool = True,
         max_configurations: int = 2_000_000,
         verify_step_budget: int | None = 1_000_000,
-        retry_timed_out: bool = False,
+        retry_timed_out: bool | RetryPolicy = False,
         token: CancellationToken | None = None,
         stage_time_limit: float | None = None,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         """
         Args:
@@ -217,7 +221,11 @@ class CounterexampleFinder:
                 derivation count blow up.
             retry_timed_out: After the main pass, re-search timed-out
                 conflicts with the leftover cumulative budget split among
-                them (budget escalation beyond ``time_limit``).
+                them (budget escalation beyond ``time_limit``). ``True``
+                selects one immediate retry round; passing a
+                :class:`~repro.robust.retry.RetryPolicy` runs up to
+                ``max_retries`` rounds with the policy's backoff between
+                them (jitter is seeded, so runs stay deterministic).
             token: Cooperative cancellation; once cancelled, in-flight
                 work stops and remaining conflicts get stub entries, so
                 the summary stays complete.
@@ -241,7 +249,18 @@ class CounterexampleFinder:
         self.verify = verify
         self.verify_step_budget = verify_step_budget
         self.max_configurations = max_configurations
-        self.retry_timed_out = retry_timed_out
+        # Normalise the retry knob onto one RetryPolicy: the historical
+        # ``True`` means exactly one immediate retry round.
+        if isinstance(retry_timed_out, RetryPolicy):
+            self.retry_policy = retry_timed_out
+        elif retry_timed_out:
+            self.retry_policy = RetryPolicy(
+                max_attempts=2, base_delay=0.0, jitter=0.0
+            )
+        else:
+            self.retry_policy = NO_RETRY
+        self.retry_timed_out = self.retry_policy.max_retries > 0
+        self._retry_sleep = retry_sleep
         self.token = token
         self.stage_time_limit = (
             stage_time_limit
@@ -461,14 +480,36 @@ class CounterexampleFinder:
         )
 
     def _retry_pass(self, reports: list[FinderReport]) -> tuple[int, int]:
-        """Re-search timed-out conflicts with the leftover budget.
+        """Re-search timed-out conflicts under the finder's retry policy.
 
-        The leftover cumulative budget is split evenly among the
-        timed-out conflicts, escalating each retry's time limit beyond
-        the original per-conflict cap when plenty is left. A retry that
+        Each round splits the leftover cumulative budget evenly among the
+        still-timed-out conflicts, escalating each retry's time limit
+        beyond the original per-conflict cap when plenty is left. Rounds
+        continue while the policy allows and candidates remain; the
+        policy's (seeded-jitter) backoff separates rounds. A retry that
         finds (and verifies) a unifying counterexample upgrades the
         report entry in place.
         """
+        retried = upgraded = 0
+        rng = random.Random(0)
+        for attempt in range(1, self.retry_policy.max_attempts):
+            if attempt > 1:
+                pause = self.retry_policy.delay(attempt - 1, rng)
+                if pause > 0.0:
+                    self._retry_sleep(pause)
+            round_retried, round_upgraded, candidates_left = self._retry_round(
+                reports
+            )
+            retried += round_retried
+            upgraded += round_upgraded
+            if not candidates_left:
+                break
+        return retried, upgraded
+
+    def _retry_round(
+        self, reports: list[FinderReport]
+    ) -> tuple[int, int, bool]:
+        """One retry round; returns ``(retried, upgraded, more_left)``."""
         leftover = self.cumulative_limit - self._unifying_budget_spent
         candidates = [
             index
@@ -476,7 +517,7 @@ class CounterexampleFinder:
             if report.timed_out and report.rung is not Rung.UNIFYING
         ]
         if leftover <= 0 or not candidates:
-            return 0, 0
+            return 0, 0, False
         per_conflict = leftover / len(candidates)
         retried = upgraded = 0
         for index in candidates:
@@ -526,7 +567,14 @@ class CounterexampleFinder:
                 retried=True,
             )
             upgraded += 1
-        return retried, upgraded
+        more_left = (
+            self.cumulative_limit - self._unifying_budget_spent > 0
+            and any(
+                report.timed_out and report.rung is not Rung.UNIFYING
+                for report in reports
+            )
+        )
+        return retried, upgraded, more_left
 
     # ------------------------------------------------------------------ #
 

@@ -96,27 +96,112 @@ def grammar_fingerprint(grammar: Grammar, algorithm: str = "lalr") -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+#: Quarantined corrupt entries kept per cache directory (oldest pruned).
+MAX_QUARANTINED = 8
+
+
 class AutomatonCache:
-    """Directory of serialized automatons keyed by grammar fingerprint."""
+    """Directory of serialized automatons keyed by grammar fingerprint.
+
+    Safe for concurrent multi-process use (the service's worker pool
+    shares one directory): writes land under unique temp names and are
+    published with :func:`os.replace`, so two workers racing to store
+    the same fingerprint both succeed — last writer wins with identical
+    content, and a reader never observes a torn entry. Any filesystem
+    race (directory swept away, replace denied) degrades to a benign
+    miss instead of failing the analysis. Corrupt entries are moved to a
+    ``*.corrupt-*`` quarantine (bounded, oldest evicted) so a poisoned
+    file cannot be re-parsed on every request, and eviction/clearing
+    never mistakes quarantine files for live entries.
+    """
 
     def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.write_failures = 0
 
     # ------------------------------------------------------------------ #
 
     def _path_for(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
 
+    def _atomic_write(self, path: Path, text: str) -> bool:
+        """Publish *text* at *path* via a unique temp name + ``os.replace``.
+
+        Returns ``False`` (benign failure, counted) instead of raising on
+        OS-level races: a concurrently removed directory or a denied
+        replace must cost a rebuild next time, never the current run.
+        """
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+        except OSError:
+            self.write_failures += 1
+            metrics.count("cache.write_failed")
+            return False
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except OSError:
+            self.write_failures += 1
+            metrics.count("cache.write_failed")
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is not re-parsed every read.
+
+        The quarantine name carries the pid so concurrent quarantiners
+        cannot collide; the set is bounded by :data:`MAX_QUARANTINED`
+        (oldest evicted first). Every step tolerates concurrent movers.
+        """
+        target = path.with_name(f"{path.name}.corrupt-{os.getpid()}")
+        suffix = 0
+        try:
+            while target.exists():
+                suffix += 1
+                target = path.with_name(f"{path.name}.corrupt-{os.getpid()}.{suffix}")
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined += 1
+        metrics.count("cache.quarantined")
+        try:
+            backlog = sorted(
+                self.directory.glob("*.corrupt-*"),
+                key=lambda entry: entry.stat().st_mtime,
+            )
+        except OSError:
+            return
+        for stale in backlog[: max(0, len(backlog) - MAX_QUARANTINED)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
     def get(self, grammar: Grammar, algorithm: str = "lalr") -> LALRAutomaton | None:
         """The cached automaton for *grammar*, or ``None`` on a miss.
 
         Corrupt, truncated, or unreadable entries count as misses; the
-        offending file is left in place for the next :meth:`put` to
-        overwrite atomically. An entry whose recorded construction
-        algorithm disagrees with the requested one (hash collision or
-        hand-edited file) is also a miss.
+        offending file is quarantined (renamed aside) so it is rebuilt
+        once instead of re-parsed on every request. An entry whose
+        recorded construction algorithm disagrees with the requested one
+        (hash collision or hand-edited file) is also a miss.
         """
         path = self._path_for(grammar_fingerprint(grammar, algorithm))
         try:
@@ -128,6 +213,7 @@ class AutomatonCache:
             with metrics.span("cache/decode"):
                 automaton = load_automaton(text)
         except (ValueError, KeyError, IndexError, TypeError):
+            self._quarantine(path)
             self._miss()
             return None
         if automaton.algorithm != algorithm:
@@ -145,24 +231,16 @@ class AutomatonCache:
         return automaton
 
     def put(self, grammar: Grammar, automaton: LALRAutomaton) -> Path:
-        """Store *automaton* under *grammar*'s fingerprint (atomically)."""
+        """Store *automaton* under *grammar*'s fingerprint (atomically).
+
+        Concurrent writers of the same fingerprint serialize identical
+        content, so whichever ``os.replace`` lands last is as good as the
+        first; an OS-level race is absorbed as a benign non-write.
+        """
         path = self._path_for(grammar_fingerprint(grammar, automaton.algorithm))
-        path.parent.mkdir(parents=True, exist_ok=True)
         with metrics.span("cache/encode"):
             text = dump_automaton(automaton)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self._atomic_write(path, text)
         return path
 
     def get_verdicts(
@@ -238,8 +316,16 @@ class AutomatonCache:
             if not isinstance(document, dict):
                 raise ValueError("corrupt cache entry")
         except (OSError, ValueError):
+            # Missing, corrupt, or half-replaced by a concurrent writer:
+            # re-serialize the automaton we already hold. If even the
+            # re-read fails (writes disabled), skip memoization benignly.
             self.put(grammar, automaton)
-            document = json.loads(path.read_text())
+            try:
+                document = json.loads(path.read_text())
+                if not isinstance(document, dict):
+                    raise ValueError("corrupt cache entry")
+            except (OSError, ValueError):
+                return None
         document["ambiguity"] = {
             "analysis_version": ANALYSIS_VERSION,
             "verdicts": [
@@ -259,23 +345,12 @@ class AutomatonCache:
             ],
         }
         text = json.dumps(document, separators=(",", ":"))
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self._atomic_write(path, text)
         return path
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and quarantine file); returns the
+        number of live entries removed."""
         removed = 0
         if not self.directory.is_dir():
             return removed
@@ -283,6 +358,11 @@ class AutomatonCache:
             try:
                 entry.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for entry in self.directory.glob("*.corrupt-*"):
+            try:
+                entry.unlink()
             except OSError:
                 pass
         return removed
@@ -294,13 +374,18 @@ class AutomatonCache:
         metrics.count("cache.miss")
 
     def info(self) -> dict[str, int]:
-        """Hit/miss counters and the number of entries on disk."""
-        entries = (
-            sum(1 for _ in self.directory.glob("*.json"))
-            if self.directory.is_dir()
-            else 0
-        )
-        return {"entries": entries, "hits": self.hits, "misses": self.misses}
+        """Hit/miss/quarantine counters and the entries on disk."""
+        entries = quarantined = 0
+        if self.directory.is_dir():
+            entries = sum(1 for _ in self.directory.glob("*.json"))
+            quarantined = sum(1 for _ in self.directory.glob("*.corrupt-*"))
+        return {
+            "entries": entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": quarantined,
+            "write_failures": self.write_failures,
+        }
 
 
 def build_automaton_cached(

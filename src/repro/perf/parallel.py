@@ -113,7 +113,8 @@ def explain_all_parallel(
         )
     finder_kwargs.pop("token", None)
     jobs = resolve_jobs(jobs)
-    retry = bool(finder_kwargs.pop("retry_timed_out", False))
+    # A bool or a RetryPolicy — preserved as-is for the parent finder.
+    retry = finder_kwargs.pop("retry_timed_out", False)
 
     automaton = source if isinstance(source, LALRAutomaton) else build_lalr(source)
     conflicts = automaton.conflicts
@@ -148,7 +149,9 @@ def explain_all_parallel(
         # Parent-side retry pass, sharing the serial finder's logic. The
         # parent finder starts with the budget already spent by workers
         # (their per-report search times), mirroring serial accounting.
-        parent = CounterexampleFinder(automaton, **finder_kwargs)
+        parent = CounterexampleFinder(
+            automaton, retry_timed_out=retry, **finder_kwargs
+        )
         parent._unifying_budget_spent = sum(
             report.stats.elapsed for report in reports if report.stats is not None
         )

@@ -36,15 +36,22 @@ from repro.robust.errors import (
     VerificationFailed,
 )
 from repro.robust.faults import (
+    ENV_FAULTS,
     INJECTION_POINTS,
     FaultKind,
     FaultRegistry,
     FaultSpec,
+    InjectedCrash,
     InjectedFault,
+    InjectedHang,
+    InjectedTornWrite,
     fire,
     inject_faults,
+    install_from_env,
     registry,
+    specs_to_env,
 )
+from repro.robust.retry import NO_RETRY, RetryPolicy, call_with_retry
 
 __all__ = [
     "AdaptiveTicker",
@@ -52,6 +59,7 @@ __all__ = [
     "BudgetExhausted",
     "Cancelled",
     "CancellationToken",
+    "ENV_FAULTS",
     "Deadline",
     "DegradedExplanation",
     "ExplanationError",
@@ -60,16 +68,24 @@ __all__ = [
     "FaultSpec",
     "GuardOutcome",
     "INJECTION_POINTS",
+    "InjectedCrash",
     "InjectedFault",
+    "InjectedHang",
+    "InjectedTornWrite",
     "MemoryBudgetExceeded",
+    "NO_RETRY",
     "PathNotFoundError",
+    "RetryPolicy",
     "Rung",
     "SearchTimeout",
     "Stage",
     "VerificationFailed",
+    "call_with_retry",
     "degradation_from",
     "fire",
     "inject_faults",
+    "install_from_env",
     "registry",
     "run_guarded",
+    "specs_to_env",
 ]

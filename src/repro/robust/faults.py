@@ -13,19 +13,37 @@ Injection is deterministic: every point counts its arrivals, and a spec
 fires on arrivals ``at .. at + count - 1``. With an empty registry
 :func:`fire` is a single attribute check, so production runs pay
 nothing.
+
+The grammar-analysis service (:mod:`repro.service`) adds three
+service-level points — ``worker`` (the subprocess entry, supporting the
+``crash`` and ``hang`` kinds), ``queue`` (the admission controller's
+enqueue decision), and ``journal`` (the job store's append, supporting
+``torn_write``) — plus :func:`install_from_env` / :func:`specs_to_env`
+so a parent can arm faults in worker subprocesses and external smoke
+tests can poison a running server through ``REPRO_FAULTS``.
 """
 
 from __future__ import annotations
 
 import enum
+import json
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.robust.errors import BudgetExhausted, SearchTimeout
 
-#: The five canonical injection points, in pipeline order.
-INJECTION_POINTS = ("lasg", "search", "verify", "nonunifying", "render")
+#: The canonical injection points: the five pipeline stages in order,
+#: then the three service-level points.
+INJECTION_POINTS = (
+    "lasg", "search", "verify", "nonunifying", "render",
+    "worker", "queue", "journal",
+)
+
+#: Environment variable carrying JSON-encoded fault specs for
+#: subprocesses (see :func:`install_from_env`).
+ENV_FAULTS = "REPRO_FAULTS"
 
 
 class FaultKind(enum.Enum):
@@ -35,12 +53,30 @@ class FaultKind(enum.Enum):
     BUDGET = "budget"
     EXCEPTION = "exception"
     OOM = "oom"
+    #: Hard process death (service workers translate this to ``_exit``).
+    CRASH = "crash"
+    #: A wedged worker: heartbeats stop but the process stays alive.
+    HANG = "hang"
+    #: A partially persisted journal line (crash mid-``write``).
+    TORN_WRITE = "torn_write"
 
 
 class InjectedFault(RuntimeError):
     """The generic injected exception (deliberately *not* an
     :class:`~repro.robust.errors.ExplanationError` — it exercises the
     guard's handling of unexpected errors)."""
+
+
+class InjectedCrash(InjectedFault):
+    """Caught at the worker-subprocess entry and turned into a hard exit."""
+
+
+class InjectedHang(InjectedFault):
+    """Caught at the worker-subprocess entry: stop heartbeating, sleep."""
+
+
+class InjectedTornWrite(InjectedFault):
+    """Caught by the journal: persist only a prefix of the line."""
 
 
 @dataclass(frozen=True)
@@ -54,6 +90,11 @@ class FaultSpec:
         count: Number of consecutive arrivals that fire (a large value
             makes the point fail persistently).
         message: Attached to the raised exception.
+        match: Optional substring filter on the arrival's *context*
+            (e.g. a grammar name): the spec only fires when the firing
+            site passed a context containing it. ``None`` matches every
+            arrival. Lets a chaos run poison one grammar while the rest
+            of the fleet stays healthy.
     """
 
     point: str
@@ -61,6 +102,7 @@ class FaultSpec:
     at: int = 0
     count: int = 1
     message: str = "injected fault"
+    match: str | None = None
 
     def build_exception(self) -> BaseException:
         detail = f"{self.message} [{self.kind.value} @ {self.point}]"
@@ -70,7 +112,34 @@ class FaultSpec:
             return BudgetExhausted(detail, stage=self.point, injected=True)
         if self.kind is FaultKind.OOM:
             return MemoryError(detail)
+        if self.kind is FaultKind.CRASH:
+            return InjectedCrash(detail)
+        if self.kind is FaultKind.HANG:
+            return InjectedHang(detail)
+        if self.kind is FaultKind.TORN_WRITE:
+            return InjectedTornWrite(detail)
         return InjectedFault(detail)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "point": self.point,
+            "kind": self.kind.value,
+            "at": self.at,
+            "count": self.count,
+            "message": self.message,
+            "match": self.match,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "FaultSpec":
+        return cls(
+            point=str(data["point"]),
+            kind=FaultKind(str(data.get("kind", FaultKind.EXCEPTION.value))),
+            at=int(data.get("at", 0)),  # type: ignore[arg-type]
+            count=int(data.get("count", 1)),  # type: ignore[arg-type]
+            message=str(data.get("message", "injected fault")),
+            match=(str(data["match"]) if data.get("match") is not None else None),
+        )
 
 
 @dataclass
@@ -79,6 +148,11 @@ class FaultRegistry:
 
     specs: list[FaultSpec] = field(default_factory=list)
     arrivals: dict[str, int] = field(default_factory=dict)
+    #: Arrival counters for ``match``-filtered specs, keyed by
+    #: ``(point, match)`` and counting only arrivals whose context
+    #: matched — so an ``at``/``count`` window on a filtered spec indexes
+    #: the *target's* arrivals, unperturbed by unrelated traffic.
+    matched_arrivals: dict[tuple[str, str], int] = field(default_factory=dict)
     fired: list[tuple[str, FaultKind, int]] = field(default_factory=list)
 
     @property
@@ -97,16 +171,62 @@ class FaultRegistry:
     def reset(self) -> None:
         self.specs.clear()
         self.arrivals.clear()
+        self.matched_arrivals.clear()
         self.fired.clear()
 
-    def fire(self, point: str) -> None:
-        """Record an arrival at *point*; raise if a spec covers it."""
+    def fire(self, point: str, context: str | None = None) -> None:
+        """Record an arrival at *point*; raise if a spec covers it.
+
+        *context* is matched against each spec's ``match`` filter; specs
+        without a filter fire regardless. Filtered specs index their
+        ``at``/``count`` windows over *matching* arrivals only, so
+        poisoning one grammar is unaffected by how much healthy traffic
+        interleaves with it.
+        """
         arrival = self.arrivals.get(point, 0)
         self.arrivals[point] = arrival + 1
+        matched_indices: dict[tuple[str, str], int] = {}
         for spec in self.specs:
-            if spec.point == point and spec.at <= arrival < spec.at + spec.count:
-                self.fired.append((point, spec.kind, arrival))
+            if spec.point != point or spec.match is None:
+                continue
+            if context is not None and spec.match in context:
+                key = (point, spec.match)
+                if key not in matched_indices:
+                    index = self.matched_arrivals.get(key, 0)
+                    matched_indices[key] = index
+                    self.matched_arrivals[key] = index + 1
+        for spec in self.specs:
+            if spec.point != point:
+                continue
+            if spec.match is None:
+                index = arrival
+            else:
+                key = (point, spec.match)
+                if key not in matched_indices:
+                    continue  # this arrival's context did not match
+                index = matched_indices[key]
+            if spec.at <= index < spec.at + spec.count:
+                self.fired.append((point, spec.kind, index))
                 raise spec.build_exception()
+
+    def seed_arrivals(self, offsets: Mapping[str, int]) -> None:
+        """Pre-count arrivals (cross-process continuity).
+
+        A supervisor retrying a crashed worker spawns a *fresh* process
+        whose registry starts at zero; seeding the worker's arrival
+        counter with the attempt number lets a ``count``-bounded crash
+        spec stop firing after the planned number of attempts. Filtered
+        counters are seeded to the same offset for every installed spec
+        at the point.
+        """
+        for point, offset in offsets.items():
+            if offset > self.arrivals.get(point, 0):
+                self.arrivals[point] = offset
+            for spec in self.specs:
+                if spec.point == point and spec.match is not None:
+                    key = (point, spec.match)
+                    if offset > self.matched_arrivals.get(key, 0):
+                        self.matched_arrivals[key] = offset
 
 
 _REGISTRY = FaultRegistry()
@@ -117,10 +237,34 @@ def registry() -> FaultRegistry:
     return _REGISTRY
 
 
-def fire(point: str) -> None:
+def fire(point: str, context: str | None = None) -> None:
     """Declare an injection point; no-op unless faults are installed."""
     if _REGISTRY.active:
-        _REGISTRY.fire(point)
+        _REGISTRY.fire(point, context)
+
+
+def specs_to_env(specs: Iterator[FaultSpec] | list[FaultSpec]) -> str:
+    """Serialize *specs* for the :data:`ENV_FAULTS` environment variable."""
+    return json.dumps([spec.to_json() for spec in specs])
+
+
+def install_from_env(environ: Mapping[str, str] | None = None) -> list[FaultSpec]:
+    """Install specs from ``$REPRO_FAULTS`` (JSON list) into the registry.
+
+    Returns the installed specs (empty when the variable is unset).
+    Malformed JSON raises ``ValueError`` — an armed chaos run must never
+    silently run un-poisoned.
+    """
+    raw = (environ if environ is not None else os.environ).get(ENV_FAULTS)
+    if not raw:
+        return []
+    try:
+        entries = json.loads(raw)
+        specs = [FaultSpec.from_json(entry) for entry in entries]
+    except (TypeError, KeyError, ValueError) as error:
+        raise ValueError(f"malformed {ENV_FAULTS}: {error}") from error
+    _REGISTRY.install(*specs)
+    return specs
 
 
 @contextmanager

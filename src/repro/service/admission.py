@@ -1,0 +1,189 @@
+"""Admission control: bounded queue, budget envelopes, load shedding.
+
+Nothing enters the job queue unchecked. The controller:
+
+* **validates** the request shape (size caps are *rejections* — HTTP
+  4xx, retrying is pointless);
+* **clamps** the requested budgets into the service's per-request
+  envelope (a client may ask for less time than the cap, never more);
+* **sheds** load when the queue is full or the optional global
+  :class:`~repro.robust.budget.Budget` envelope is exhausted — HTTP 503
+  with a ``Retry-After`` derived from observed job latency, so clients
+  back off proportionally to actual saturation instead of hammering.
+
+The ``queue`` fault-injection point forces the queue-full path for
+chaos tests without actually filling the queue.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.robust.budget import Budget, CancellationToken
+from repro.robust.errors import BudgetExhausted, SearchTimeout
+from repro.robust.faults import InjectedFault, fire
+from repro.service.protocol import AnalyzeOptions, AnalyzeRequest
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Service-side envelopes every request is clamped into."""
+
+    max_queue: int = 64
+    max_time_limit: float = 10.0
+    max_cumulative_limit: float = 60.0
+    max_configurations: int = 2_000_000
+    max_grammar_bytes: int = 256 * 1024
+    max_chaos_sleep_s: float = 30.0
+    #: Optional global wall-clock envelope: once this much time has
+    #: passed since the service started, new work is shed. ``None``
+    #: disables the global envelope (the normal production setting).
+    global_time_budget: float | None = None
+    #: Floor/ceiling for the Retry-After hint (seconds).
+    min_retry_after: float = 1.0
+    max_retry_after: float = 60.0
+
+
+@dataclass(frozen=True)
+class Admitted:
+    """The request may run, with budgets clamped into the envelope."""
+
+    options: AnalyzeOptions
+
+
+@dataclass(frozen=True)
+class Shed:
+    """Transient refusal (HTTP 503 + Retry-After): try again later."""
+
+    reason: str
+    retry_after: int
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Permanent refusal (HTTP 4xx): retrying cannot help."""
+
+    reason: str
+    status: int = 400
+
+
+Decision = Admitted | Shed | Rejected
+
+
+class AdmissionController:
+    """Decides, for each request, admit / shed / reject."""
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        token: CancellationToken | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        #: The global envelope is a real ``repro.robust`` budget sharing
+        #: the service's cancellation token: admission charges one node
+        #: per admitted job and polls it, so both the wall-clock envelope
+        #: and service shutdown shed load through the same mechanism.
+        self.envelope = Budget(
+            time_limit=self.config.global_time_budget,
+            token=token,
+            stage="admission",
+            clock=clock,
+        ).start()
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+        #: Exponential moving average of completed-job latency, feeding
+        #: the Retry-After estimate.
+        self._avg_job_seconds = 1.0
+
+    # ------------------------------------------------------------------ #
+
+    def decide(self, request: AnalyzeRequest, queue_depth: int) -> Decision:
+        """Admission decision for *request* given the current queue."""
+        config = self.config
+        if len(request.grammar.encode()) > config.max_grammar_bytes:
+            self.rejected += 1
+            return Rejected(
+                f"grammar exceeds {config.max_grammar_bytes} bytes", status=413
+            )
+        try:
+            fire("queue", context=request.name)
+        except (InjectedFault, BudgetExhausted, SearchTimeout):
+            self.shed += 1
+            return Shed("queue full (injected)", self._retry_after(queue_depth))
+        if queue_depth >= config.max_queue:
+            self.shed += 1
+            return Shed("queue full", self._retry_after(queue_depth))
+        try:
+            self.envelope.charge()
+            self.envelope.check()
+        except (BudgetExhausted, SearchTimeout):
+            self.shed += 1
+            return Shed(
+                "global budget envelope exhausted",
+                self._retry_after(queue_depth),
+            )
+        except Exception as error:  # Cancelled — service shutting down
+            self.shed += 1
+            return Shed(f"service unavailable: {error}", self._retry_after(0))
+        self.admitted += 1
+        return Admitted(options=self.clamp(request.options))
+
+    def clamp(self, options: AnalyzeOptions) -> AnalyzeOptions:
+        """Clip the request's budgets into the per-request envelope."""
+        config = self.config
+        return AnalyzeOptions(
+            time_limit=min(max(options.time_limit, 0.0), config.max_time_limit),
+            cumulative_limit=min(
+                max(options.cumulative_limit, 0.0), config.max_cumulative_limit
+            ),
+            table_algorithm=options.table_algorithm,
+            ambiguity=options.ambiguity,
+            lint=options.lint,
+            verify=options.verify,
+            max_configurations=min(
+                max(options.max_configurations, 1), config.max_configurations
+            ),
+            chaos_sleep_s=min(
+                max(options.chaos_sleep_s, 0.0), config.max_chaos_sleep_s
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def observe_job_seconds(self, seconds: float) -> None:
+        """Fold one completed job's wall time into the latency EMA."""
+        self._avg_job_seconds = 0.8 * self._avg_job_seconds + 0.2 * max(
+            seconds, 0.01
+        )
+
+    def _retry_after(self, queue_depth: int) -> int:
+        estimate = (queue_depth + 1) * self._avg_job_seconds
+        clamped = min(
+            max(estimate, self.config.min_retry_after), self.config.max_retry_after
+        )
+        return int(math.ceil(clamped))
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "rejected": self.rejected,
+        }
+
+
+__all__ = [
+    "Admitted",
+    "AdmissionConfig",
+    "AdmissionController",
+    "Decision",
+    "Rejected",
+    "Shed",
+]

@@ -1,0 +1,148 @@
+"""Per-grammar-fingerprint circuit breakers.
+
+One poison grammar — one that reliably crashes, hangs, or times out its
+worker — must not starve the fleet: after ``threshold`` consecutive
+failures its breaker *opens* and further requests for the same grammar
+are answered immediately with a degraded (stub-rung) verdict instead of
+burning another worker. After ``cooldown`` seconds the breaker goes
+*half-open* and admits exactly one probe: success closes it, failure
+re-opens it for another cooldown.
+
+The classic pattern (Nygard, *Release It!*), deterministic here: the
+clock is injectable, state transitions happen only inside :meth:`allow`
+/ :meth:`record_failure` / :meth:`record_success`, and the board
+snapshots cleanly into ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker for one grammar fingerprint."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.opened_at: float | None = None
+        self._probe_outstanding = False
+
+    # ------------------------------------------------------------------ #
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In the open state, the first call after the cooldown flips to
+        half-open and is admitted as the probe; until that probe reports
+        back, everything else is refused.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at is not None
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_outstanding = True
+                return True
+            return False
+        # HALF_OPEN: one probe at a time.
+        if self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        self._probe_outstanding = False
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = self._clock()
+
+    # ------------------------------------------------------------------ #
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe could be admitted (0 if now)."""
+        if self.state is not BreakerState.OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self.opened_at))
+
+
+class BreakerBoard:
+    """All breakers, keyed by grammar fingerprint."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.threshold, cooldown=self.cooldown, clock=self._clock
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def states(self) -> dict[str, dict[str, object]]:
+        """Non-closed breakers, for ``/healthz`` (closed ones are noise)."""
+        return {
+            key: {
+                "state": breaker.state.value,
+                "consecutive_failures": breaker.consecutive_failures,
+                "total_failures": breaker.total_failures,
+                "retry_after_s": round(breaker.retry_after(), 3),
+            }
+            for key, breaker in sorted(self._breakers.items())
+            if breaker.state is not BreakerState.CLOSED
+            or breaker.total_failures > 0
+        }
+
+    @property
+    def open_count(self) -> int:
+        return sum(
+            1
+            for breaker in self._breakers.values()
+            if breaker.state is not BreakerState.CLOSED
+        )
+
+
+__all__ = ["BreakerBoard", "BreakerState", "CircuitBreaker"]

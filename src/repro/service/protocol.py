@@ -1,0 +1,273 @@
+"""Wire protocol and job model for the grammar-analysis service.
+
+Everything that crosses a boundary — HTTP body, journal line, worker
+payload — is expressed here as plain dataclasses with explicit JSON
+codecs, so the HTTP layer, the journal, and the subprocess workers all
+speak one schema (see ``docs/SERVICE.md`` for the wire format).
+
+A job's life::
+
+    submitted ─► queued ─► running ─► completed
+                              │  ▲        (ok result)
+                              │  └ retrying (crash/hang, backoff)
+                              ├────► degraded   (breaker open / retries
+                              │                  exhausted — stub-rung
+                              │                  verdict, never lost)
+                              ├────► failed     (permanent request error,
+                              │                  e.g. a syntax error)
+                              └────► cancelled  (shutdown without resume)
+
+``degraded`` deliberately reuses the degradation-ladder vocabulary of
+:mod:`repro.robust.degrade`: the job still terminates with an answer —
+a stub-rung verdict naming what failed — rather than disappearing.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+class JobState(enum.Enum):
+    """Where a job is in its life cycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL_STATES
+
+
+_TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.DEGRADED, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+@dataclass(frozen=True)
+class AnalyzeOptions:
+    """Per-request knobs, all clamped by the admission controller.
+
+    Attributes:
+        time_limit: Per-conflict unifying-search budget (seconds).
+        cumulative_limit: Total unifying-search budget (seconds).
+        table_algorithm: ``lalr`` / ``ielr`` / ``lr1``; ``None`` defers
+            to the grammar's ``%algorithm`` directive.
+        ambiguity: Also run the SR pair walk for per-conflict verdicts.
+        lint: Also run the static lint passes.
+        verify: Earley-verify unifying counterexamples.
+        max_configurations: Node cap per unifying search.
+        chaos_sleep_s: Synthetic pre-analysis delay (heartbeats keep
+            flowing) — a load/drain-testing knob, clamped hard.
+    """
+
+    time_limit: float = 2.0
+    cumulative_limit: float = 30.0
+    table_algorithm: str | None = None
+    ambiguity: bool = False
+    lint: bool = False
+    verify: bool = True
+    max_configurations: int = 500_000
+    chaos_sleep_s: float = 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "time_limit": self.time_limit,
+            "cumulative_limit": self.cumulative_limit,
+            "table_algorithm": self.table_algorithm,
+            "ambiguity": self.ambiguity,
+            "lint": self.lint,
+            "verify": self.verify,
+            "max_configurations": self.max_configurations,
+            "chaos_sleep_s": self.chaos_sleep_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "AnalyzeOptions":
+        defaults = cls()
+        unknown = set(data) - set(defaults.to_json())
+        if unknown:
+            raise ProtocolError(f"unknown options: {', '.join(sorted(unknown))}")
+        try:
+            return cls(
+                time_limit=float(data.get("time_limit", defaults.time_limit)),
+                cumulative_limit=float(
+                    data.get("cumulative_limit", defaults.cumulative_limit)
+                ),
+                table_algorithm=(
+                    str(data["table_algorithm"])
+                    if data.get("table_algorithm") is not None
+                    else None
+                ),
+                ambiguity=bool(data.get("ambiguity", defaults.ambiguity)),
+                lint=bool(data.get("lint", defaults.lint)),
+                verify=bool(data.get("verify", defaults.verify)),
+                max_configurations=int(
+                    data.get("max_configurations", defaults.max_configurations)
+                ),
+                chaos_sleep_s=float(
+                    data.get("chaos_sleep_s", defaults.chaos_sleep_s)
+                ),
+            )
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed options: {error}") from error
+
+
+class ProtocolError(ValueError):
+    """A request the protocol layer cannot even represent (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """One grammar-analysis request."""
+
+    grammar: str
+    name: str = "grammar"
+    options: AnalyzeOptions = field(default_factory=AnalyzeOptions)
+
+    @property
+    def grammar_key(self) -> str:
+        """Content hash of the grammar text alone.
+
+        The circuit breaker keys on this: a poison grammar must trip the
+        breaker no matter which option combination resubmits it.
+        """
+        return hashlib.sha256(self.grammar.encode()).hexdigest()[:16]
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the whole request (grammar + options).
+
+        Jobs with equal fingerprints perform identical work, so the
+        journal's resume pass dedupes on it and repeat requests ride the
+        warm automaton cache.
+        """
+        payload = self.grammar + "\x00" + json.dumps(
+            self.options.to_json(), sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "grammar": self.grammar,
+            "name": self.name,
+            "options": self.options.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "AnalyzeRequest":
+        grammar = data.get("grammar")
+        if not isinstance(grammar, str) or not grammar.strip():
+            raise ProtocolError("request must carry a non-empty 'grammar' string")
+        name = data.get("name", "grammar")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("'name' must be a non-empty string")
+        options_data = data.get("options", {})
+        if not isinstance(options_data, Mapping):
+            raise ProtocolError("'options' must be an object")
+        return cls(
+            grammar=grammar, name=name, options=AnalyzeOptions.from_json(options_data)
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's full state — exactly what a journal line snapshots."""
+
+    id: str
+    request: AnalyzeRequest
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    @classmethod
+    def new(cls, request: AnalyzeRequest, now: float) -> "JobRecord":
+        return cls(
+            id=uuid.uuid4().hex[:16],
+            request=request,
+            created_at=now,
+            updated_at=now,
+        )
+
+    def advance(self, state: JobState, now: float, **changes: Any) -> "JobRecord":
+        """A copy in *state*; callers journal the returned snapshot."""
+        return replace(self, state=state, updated_at=now, **changes)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "request": self.request.to_json(),
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "JobRecord":
+        return cls(
+            id=str(data["id"]),
+            request=AnalyzeRequest.from_json(data["request"]),
+            state=JobState(str(data["state"])),
+            attempts=int(data.get("attempts", 0)),  # type: ignore[arg-type]
+            created_at=float(data.get("created_at", 0.0)),  # type: ignore[arg-type]
+            updated_at=float(data.get("updated_at", 0.0)),  # type: ignore[arg-type]
+            result=data.get("result"),
+            error=(str(data["error"]) if data.get("error") is not None else None),
+        )
+
+    def public_json(self) -> dict[str, Any]:
+        """The ``GET /v1/jobs/<id>`` body (grammar text elided)."""
+        return {
+            "id": self.id,
+            "name": self.request.name,
+            "fingerprint": self.request.fingerprint,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+def degraded_result(stage: str, reason: str, error_type: str) -> dict[str, Any]:
+    """A stub-rung job result for supervision-level degradation.
+
+    Mirrors :meth:`repro.robust.degrade.DegradedExplanation.to_json`, so
+    robust-report consumers parse service degradations with the same
+    code that parses pipeline-stage degradations.
+    """
+    return {
+        "ok": False,
+        "rung": "stub",
+        "degradation": {
+            "stage": stage,
+            "reason": reason,
+            "error_type": error_type,
+            "artifacts": {},
+        },
+    }
+
+
+__all__ = [
+    "AnalyzeOptions",
+    "AnalyzeRequest",
+    "JobRecord",
+    "JobState",
+    "ProtocolError",
+    "degraded_result",
+]

@@ -46,7 +46,13 @@ class TestFingerprint:
 class TestCache:
     def test_miss_then_hit(self, cache, figure1):
         first = build_lalr_cached(figure1, cache)
-        assert cache.info() == {"entries": 1, "hits": 0, "misses": 1}
+        assert cache.info() == {
+            "entries": 1,
+            "hits": 0,
+            "misses": 1,
+            "quarantined": 0,
+            "write_failures": 0,
+        }
         second = build_lalr_cached(figure1, cache)
         assert cache.hits == 1
         assert len(second.states) == len(first.states)

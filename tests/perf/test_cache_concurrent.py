@@ -1,0 +1,122 @@
+"""Multi-process cache safety: racing writers, corrupt-entry quarantine."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+from repro.automaton import build_automaton
+from repro.grammar import load_grammar
+from repro.perf.cache import (
+    MAX_QUARANTINED,
+    AutomatonCache,
+    build_automaton_cached,
+    grammar_fingerprint,
+)
+
+GRAMMAR = """
+%grammar cache-race
+%start S
+S : T | S T ;
+T : X | Y ;
+X : 'a' ;
+Y : 'a' 'a' 'b' ;
+"""
+
+
+def _writer(directory: str, barrier) -> None:
+    """Build-and-put from a fresh process, starting on the barrier."""
+    grammar = load_grammar(GRAMMAR)
+    cache = AutomatonCache(directory)
+    barrier.wait(timeout=30.0)
+    build_automaton_cached(grammar, cache)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_fingerprint_one_valid_entry(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        workers = [
+            ctx.Process(target=_writer, args=(str(tmp_path), barrier))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+            assert worker.exitcode == 0
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        # No temp droppings survive a completed race.
+        assert list(tmp_path.glob("*.tmp")) == []
+        # The surviving entry is intact and decodes to the automaton.
+        grammar = load_grammar(GRAMMAR)
+        reader = AutomatonCache(tmp_path)
+        automaton = reader.get(grammar)
+        assert automaton is not None
+        assert reader.hits == 1
+        json.loads(entries[0].read_text())  # well-formed on disk
+
+    def test_concurrent_directory_removal_is_a_benign_miss(self, tmp_path):
+        grammar = load_grammar(GRAMMAR)
+        automaton = build_automaton(grammar)
+        doomed = tmp_path / "swept"
+        cache = AutomatonCache(doomed)
+
+        # Simulate the sweep by making the parent unusable: point the
+        # cache at a path whose parent is a *file*, so mkdir fails.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache.directory = blocker / "cache"
+        cache.put(grammar, automaton)
+        assert cache.write_failures == 1
+        # The analysis itself is unaffected: a later read is just a miss.
+        assert cache.get(grammar) is None
+        assert cache.misses == 1
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_quarantined_then_rebuilt(self, tmp_path):
+        grammar = load_grammar(GRAMMAR)
+        cache = AutomatonCache(tmp_path)
+        build_automaton_cached(grammar, cache)
+        path = tmp_path / f"{grammar_fingerprint(grammar)}.json"
+        path.write_text("{ torn garbage")
+
+        assert cache.get(grammar) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        quarantine = list(tmp_path.glob("*.corrupt-*"))
+        assert len(quarantine) == 1
+        assert str(os.getpid()) in quarantine[0].name
+
+        # The next cached build repopulates the entry; the quarantined
+        # file is never mistaken for a live entry again.
+        build_automaton_cached(grammar, cache)
+        assert cache.get(grammar) is not None
+        assert cache.info()["entries"] == 1
+        assert cache.info()["quarantined"] == 1
+
+    def test_quarantine_backlog_is_bounded(self, tmp_path):
+        grammar = load_grammar(GRAMMAR)
+        cache = AutomatonCache(tmp_path)
+        fingerprint = grammar_fingerprint(grammar)
+        for index in range(MAX_QUARANTINED + 3):
+            path = tmp_path / f"{fingerprint}.json"
+            path.write_text(f"corrupt #{index}")
+            assert cache.get(grammar) is None
+        assert cache.quarantined == MAX_QUARANTINED + 3
+        backlog = list(tmp_path.glob("*.corrupt-*"))
+        assert len(backlog) <= MAX_QUARANTINED
+
+    def test_clear_removes_quarantine_files_too(self, tmp_path):
+        grammar = load_grammar(GRAMMAR)
+        cache = AutomatonCache(tmp_path)
+        build_automaton_cached(grammar, cache)
+        (tmp_path / f"{grammar_fingerprint(grammar)}.json").write_text("junk")
+        assert cache.get(grammar) is None
+        assert list(tmp_path.glob("*.corrupt-*"))
+        removed = cache.clear()
+        assert removed == 0  # the only live entry was quarantined away
+        assert list(tmp_path.glob("*")) == []

@@ -1,0 +1,184 @@
+"""The generic RetryPolicy and its Finder retrofit."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CounterexampleFinder
+from repro.grammar import load_grammar
+from repro.robust import NO_RETRY, RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.max_retries == 2
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.max_retries == 0
+        assert not NO_RETRY.should_retry(1)
+
+    def test_exponential_backoff_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=10.0, max_delay=5.0,
+            jitter=0.0,
+        )
+        assert policy.delay(4) == pytest.approx(5.0)
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.5)
+        a = [policy.delay(i, random.Random(7)) for i in range(1, 4)]
+        b = [policy.delay(i, random.Random(7)) for i in range(1, 4)]
+        assert a == b
+        # Jitter stays within the proportional band around the base value.
+        for attempt, delay in enumerate(a, start=1):
+            base = min(1.0 * 2.0 ** (attempt - 1), policy.max_delay)
+            assert base * 0.5 <= delay <= base * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_delays_iterator_matches_delay(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.5, jitter=0.0)
+        assert list(policy.delays()) == [
+            policy.delay(1), policy.delay(2), policy.delay(3),
+        ]
+
+
+class TestCallWithRetry:
+    def test_succeeds_first_try_without_sleeping(self):
+        sleeps: list[float] = []
+        result = call_with_retry(
+            lambda: 42,
+            RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        assert result == 42
+        assert sleeps == []
+
+    def test_retries_then_succeeds_with_recorded_backoff(self):
+        attempts = {"n": 0}
+
+        def flaky() -> str:
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        sleeps: list[float] = []
+        result = call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.0),
+            retriable=(OSError,),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert attempts["n"] == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhaustion_reraises_the_last_error(self):
+        def always_fails() -> None:
+            raise OSError("permanent-looking")
+
+        with pytest.raises(OSError):
+            call_with_retry(
+                always_fails,
+                RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+                retriable=(OSError,),
+                sleep=lambda _s: None,
+            )
+
+    def test_non_retriable_errors_pass_straight_through(self):
+        calls = {"n": 0}
+
+        def fails_differently() -> None:
+            calls["n"] += 1
+            raise KeyError("not retriable")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                fails_differently,
+                RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0),
+                retriable=(OSError,),
+                sleep=lambda _s: None,
+            )
+        assert calls["n"] == 1
+
+    def test_on_retry_callback_observes_each_failure(self):
+        seen: list[tuple[int, str]] = []
+
+        def flaky() -> str:
+            if len(seen) < 2:
+                raise OSError(f"fail-{len(seen)}")
+            return "done"
+
+        call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            retriable=(OSError,),
+            sleep=lambda _s: None,
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+        )
+        assert seen == [(1, "fail-0"), (2, "fail-1")]
+
+
+AMBIG = """
+%grammar ambiguous-expr
+%start e
+e : e '+' e | e '*' e | ID ;
+"""
+
+
+class TestFinderRetrofit:
+    def _automaton(self):
+        from repro.automaton import build_automaton
+
+        return build_automaton(load_grammar(AMBIG))
+
+    def test_bool_true_maps_to_one_immediate_retry(self):
+        finder = CounterexampleFinder(self._automaton(), retry_timed_out=True)
+        assert finder.retry_timed_out
+        assert finder.retry_policy.max_attempts == 2
+        assert finder.retry_policy.base_delay == 0.0
+
+    def test_bool_false_maps_to_no_retry(self):
+        finder = CounterexampleFinder(self._automaton(), retry_timed_out=False)
+        assert not finder.retry_timed_out
+        assert finder.retry_policy is NO_RETRY
+
+    def test_policy_object_is_used_verbatim_and_sleeps_are_paced(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.25, jitter=0.0)
+        sleeps: list[float] = []
+        finder = CounterexampleFinder(
+            self._automaton(),
+            # A microscopic budget forces timeouts, exercising the pass.
+            time_limit=1e-9,
+            cumulative_limit=10.0,
+            retry_timed_out=policy,
+            retry_sleep=sleeps.append,
+        )
+        assert finder.retry_policy is policy
+        summary = finder.explain_all()
+        assert summary.num_conflicts >= 1
+        # Any sleeps the retry pass made follow the policy's schedule.
+        for recorded in sleeps:
+            assert recorded in (pytest.approx(0.25), pytest.approx(0.5))

@@ -1,0 +1,120 @@
+"""Admission control: clamping, shedding, envelopes, fault injection."""
+
+from __future__ import annotations
+
+from repro.robust.budget import CancellationToken
+from repro.robust.faults import FaultKind, FaultSpec, inject_faults
+from repro.service.admission import (
+    Admitted,
+    AdmissionConfig,
+    AdmissionController,
+    Rejected,
+    Shed,
+)
+from repro.service.protocol import AnalyzeOptions, AnalyzeRequest
+
+
+def _request(**options) -> AnalyzeRequest:
+    return AnalyzeRequest(
+        grammar="%start S\nS : 'a' ;",
+        name="g",
+        options=AnalyzeOptions(**options),
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDecisions:
+    def test_admits_and_clamps(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_time_limit=5.0, max_cumulative_limit=20.0)
+        )
+        decision = controller.decide(
+            _request(time_limit=99.0, cumulative_limit=999.0), queue_depth=0
+        )
+        assert isinstance(decision, Admitted)
+        assert decision.options.time_limit == 5.0
+        assert decision.options.cumulative_limit == 20.0
+        assert controller.counters()["admitted"] == 1
+
+    def test_clamp_floors_negative_budgets(self):
+        controller = AdmissionController()
+        clamped = controller.clamp(
+            AnalyzeOptions(time_limit=-1.0, max_configurations=0, chaos_sleep_s=-5.0)
+        )
+        assert clamped.time_limit == 0.0
+        assert clamped.max_configurations == 1
+        assert clamped.chaos_sleep_s == 0.0
+
+    def test_oversize_grammar_is_rejected_not_shed(self):
+        controller = AdmissionController(AdmissionConfig(max_grammar_bytes=8))
+        decision = controller.decide(_request(), queue_depth=0)
+        assert isinstance(decision, Rejected)
+        assert decision.status == 413
+        assert controller.counters()["rejected"] == 1
+
+    def test_full_queue_sheds_with_retry_after(self):
+        controller = AdmissionController(AdmissionConfig(max_queue=2))
+        decision = controller.decide(_request(), queue_depth=2)
+        assert isinstance(decision, Shed)
+        assert decision.retry_after >= 1
+        assert controller.counters()["shed"] == 1
+
+    def test_retry_after_tracks_observed_latency(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_queue=1, max_retry_after=1000.0)
+        )
+        for _ in range(32):
+            controller.observe_job_seconds(10.0)
+        slow = controller.decide(_request(), queue_depth=1)
+        assert isinstance(slow, Shed)
+        # depth+1 jobs ahead at ~10s each.
+        assert slow.retry_after >= 15
+
+    def test_queue_fault_point_forces_shedding(self):
+        controller = AdmissionController(AdmissionConfig(max_queue=100))
+        with inject_faults(
+            FaultSpec(point="queue", kind=FaultKind.EXCEPTION, count=1)
+        ):
+            shed = controller.decide(_request(), queue_depth=0)
+            assert isinstance(shed, Shed)
+            # The fault was one-shot; the next request is admitted.
+            assert isinstance(controller.decide(_request(), queue_depth=0), Admitted)
+
+    def test_queue_fault_match_filter_targets_one_grammar(self):
+        controller = AdmissionController()
+        with inject_faults(
+            FaultSpec(point="queue", kind=FaultKind.EXCEPTION, match="poison")
+        ):
+            poisoned = AnalyzeRequest(grammar="%start S\nS : 'a' ;", name="poison-1")
+            healthy = AnalyzeRequest(grammar="%start S\nS : 'a' ;", name="healthy")
+            assert isinstance(controller.decide(healthy, 0), Admitted)
+            assert isinstance(controller.decide(poisoned, 0), Shed)
+
+
+class TestEnvelopes:
+    def test_global_time_budget_exhaustion_sheds(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(global_time_budget=100.0), clock=clock
+        )
+        assert isinstance(controller.decide(_request(), 0), Admitted)
+        clock.now = 101.0
+        decision = controller.decide(_request(), 0)
+        assert isinstance(decision, Shed)
+        assert "envelope" in decision.reason
+
+    def test_cancellation_sheds_everything(self):
+        token = CancellationToken()
+        controller = AdmissionController(token=token)
+        assert isinstance(controller.decide(_request(), 0), Admitted)
+        token.cancel("shutting down")
+        decision = controller.decide(_request(), 0)
+        assert isinstance(decision, Shed)
+        assert "shutting down" in decision.reason

@@ -1,0 +1,101 @@
+"""Circuit-breaker state machine under a fake clock."""
+
+from __future__ import annotations
+
+from repro.service.breaker import BreakerBoard, BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # everyone else waits on the probe
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed — one strike re-opens
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after() == 5.0
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_retry_after_counts_down(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=30.0, clock=clock)
+        assert breaker.retry_after() == 0.0
+        breaker.record_failure()
+        assert breaker.retry_after() == 30.0
+        clock.advance(12.0)
+        assert breaker.retry_after() == 18.0
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=1, cooldown=10.0, clock=clock)
+        board.get("poison").record_failure()
+        assert not board.get("poison").allow()
+        assert board.get("healthy").allow()
+        assert board.open_count == 1
+
+    def test_states_snapshot_elides_untouched_breakers(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=2, cooldown=10.0, clock=clock)
+        board.get("quiet")
+        board.get("noisy").record_failure()
+        board.get("noisy").record_failure()
+        states = board.states()
+        assert set(states) == {"noisy"}
+        assert states["noisy"]["state"] == "open"
+        assert states["noisy"]["consecutive_failures"] == 2
+        assert states["noisy"]["retry_after_s"] == 10.0
