@@ -48,8 +48,27 @@ POISON = HEALTHY.replace("%grammar healthy", "%grammar poison").replace(
 SLOW_OPTIONS = {"chaos_sleep_s": 30.0}
 
 
+#: Every live server subprocess, so an aborting check can reap them.
+#: Without this, fail() used to sys.exit() over running servers: the
+#: orphans kept appending to journals inside a directory the sweep was
+#: tearing down, stranding half-written journal temp files (and the
+#: server processes themselves) behind the exiting script.
+_LIVE_SERVERS: list["Server"] = []
+
+
+def _reap_servers() -> None:
+    for server in _LIVE_SERVERS:
+        if server.process.poll() is None:
+            server.process.kill()
+            try:
+                server.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+
+
 def fail(message: str) -> None:
     print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    _reap_servers()
     sys.exit(1)
 
 
@@ -92,6 +111,7 @@ class Server:
             stderr=subprocess.PIPE,
             text=True,
         )
+        _LIVE_SERVERS.append(self)
         self.port = self._await_port()
 
     def _await_port(self) -> int:
@@ -131,6 +151,8 @@ class Server:
             self.process.kill()
             out, err = self.process.communicate()
             fail("server did not exit after signal")
+        if self in _LIVE_SERVERS:
+            _LIVE_SERVERS.remove(self)
         return self.process.returncode, out, err
 
 

@@ -1,0 +1,298 @@
+"""Work-stealing shard scheduler with resumable checkpoints.
+
+Two execution shapes, one substrate:
+
+* **CI matrix mode** — ``campaign run --shard k/M`` runs exactly one
+  shard's units in this invocation (optionally over ``--jobs`` worker
+  processes) and writes ``shard-k-of-M.json``; M independent invocations
+  on M runners cover the campaign, and ``campaign merge`` folds their
+  result files.
+* **Local fleet mode** — ``campaign run --shards M --jobs W`` runs all
+  M shards in one invocation. Each worker process has a *home* shard
+  (round-robin by slot); a worker whose home queue drains **steals from
+  the straggler** — the shard with the most remaining units — from the
+  tail of its queue, so stragglers shed load instead of serializing the
+  campaign. Stolen units still checkpoint to (and report under) their
+  owning shard, so the merged report is indistinguishable from an
+  unstolen run.
+
+Every unit is checkpointed to its shard's crash-safe ledger
+(:mod:`repro.campaign.ledger`): ``running`` before execution, ``done``
+with the full result after. ``kill -9`` at any point loses at most the
+in-flight units; re-invoking the same command replays the ledger, skips
+terminal units, and re-runs only the interrupted ones — the merged
+report comes out byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.ledger import ShardLedger
+from repro.campaign.runner import UnitResult, execute_unit, execute_unit_json
+from repro.campaign.units import (
+    SCHEMA,
+    CampaignSpec,
+    ShardSelection,
+    WorkUnit,
+    select_shard,
+)
+
+
+@dataclass
+class _ShardRun:
+    """Mutable state of one shard during an invocation."""
+
+    selection: ShardSelection
+    ledger: ShardLedger
+    pending: deque[WorkUnit] = field(default_factory=deque)
+    results: dict[str, UnitResult] = field(default_factory=dict)
+    #: Completed attempts so far per unit (seeded from interrupted runs).
+    attempts: dict[str, int] = field(default_factory=dict)
+    resumed: int = 0
+    executed: int = 0
+    stolen: int = 0
+    retried: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.selection.name
+
+    def next_attempt(self, unit: WorkUnit) -> int:
+        return self.attempts.get(unit.id, 0) + 1
+
+
+class CampaignScheduler:
+    """Runs campaign shards with checkpoints, retries, and stealing.
+
+    Args:
+        spec: The campaign (see :class:`~repro.campaign.units.CampaignSpec`).
+        out_dir: Directory for ledgers and shard result files.
+        jobs: Worker processes (1 = in-process sequential).
+        cache_dir: Shared automaton-cache directory; all shards and all
+            worker processes may point at the same one (the cache's
+            atomic writes are multi-process-safe).
+        retries: Re-runs granted to a unit whose attempt errored. Every
+            attempt's digest is checkpointed, so attempts that disagree
+            surface in the flake ledger.
+        fsync: Force ledger appends to stable storage.
+        progress: Optional callback ``(shard_name, unit_id, result)``.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        out_dir: str | os.PathLike[str],
+        *,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike[str] | None = None,
+        retries: int = 0,
+        fsync: bool = False,
+        progress: Callable[[str, str, UnitResult], None] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.out_dir = Path(out_dir)
+        self.jobs = max(1, jobs)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.retries = retries
+        self.fsync = fsync
+        self.progress = progress
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+
+    def run_shard(self, shard: tuple[int, int]) -> Path:
+        """Run (or resume) one shard; returns its result-file path."""
+        return self._run([self._prepare(select_shard(self.spec, shard))])[0]
+
+    def run_local(self, shards: int) -> list[Path]:
+        """Run (or resume) all *shards* locally, with work stealing."""
+        runs = [
+            self._prepare(select_shard(self.spec, (k, shards)))
+            for k in range(1, shards + 1)
+        ]
+        return self._run(runs)
+
+    # ------------------------------------------------------------------ #
+    # Resume
+
+    def _prepare(self, selection: ShardSelection) -> _ShardRun:
+        ledger = ShardLedger(
+            self.out_dir / f"{selection.name}.ledger.jsonl",
+            shard_name=selection.name,
+            fsync=self.fsync,
+        )
+        state = ledger.replay()
+        known = {unit.id for unit in selection.units}
+        foreign = sorted((set(state.completed) | set(state.interrupted)) - known)
+        if foreign:
+            raise ValueError(
+                f"{ledger.path.name} checkpoints unknown units "
+                f"({', '.join(foreign[:3])}…): it belongs to a different "
+                "campaign or sharding — use a fresh --out directory"
+            )
+        run = _ShardRun(selection=selection, ledger=ledger)
+        for unit in selection.units:
+            done = state.completed.get(unit.id)
+            if done is not None:
+                run.results[unit.id] = done
+                run.attempts[unit.id] = done.attempt
+                run.resumed += 1
+            else:
+                run.attempts[unit.id] = state.interrupted.get(unit.id, 0)
+                run.pending.append(unit)
+        return run
+
+    # ------------------------------------------------------------------ #
+    # Execution
+
+    def _run(self, runs: list[_ShardRun]) -> list[Path]:
+        started = time.monotonic()
+        if self.jobs == 1:
+            self._run_sequential(runs)
+        else:
+            self._run_pool(runs)
+        elapsed = time.monotonic() - started
+        paths = []
+        for run in runs:
+            run.elapsed_s = elapsed
+            paths.append(self._write_shard_document(run))
+        return paths
+
+    def _run_sequential(self, runs: list[_ShardRun]) -> None:
+        from repro.perf.cache import AutomatonCache
+
+        cache = AutomatonCache(self.cache_dir) if self.cache_dir else None
+        slot = 0
+        while True:
+            picked = self._pick(runs, slot)
+            if picked is None:
+                break
+            run, unit, stolen = picked
+            attempt = run.next_attempt(unit)
+            run.ledger.mark_running(unit, attempt)
+            result = execute_unit(unit, self.spec, cache, attempt=attempt)
+            self._record(run, unit, result, stolen)
+            slot += 1
+
+    def _run_pool(self, runs: list[_ShardRun]) -> None:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            free: deque[int] = deque(range(self.jobs))
+            in_flight: dict[Any, tuple[_ShardRun, WorkUnit, int, bool]] = {}
+            while True:
+                while free:
+                    slot = free[0]
+                    picked = self._pick(runs, slot)
+                    if picked is None:
+                        break
+                    free.popleft()
+                    run, unit, stolen = picked
+                    attempt = run.next_attempt(unit)
+                    run.ledger.mark_running(unit, attempt)
+                    future = pool.submit(
+                        execute_unit_json,
+                        self.spec.to_json(),
+                        unit.to_json(),
+                        self.cache_dir,
+                        attempt,
+                    )
+                    in_flight[future] = (run, unit, slot, stolen)
+                if not in_flight:
+                    break
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    run, unit, slot, stolen = in_flight.pop(future)
+                    result = UnitResult.from_json(future.result())
+                    self._record(run, unit, result, stolen)
+                    free.append(slot)
+
+    def _pick(
+        self, runs: list[_ShardRun], slot: int
+    ) -> tuple[_ShardRun, WorkUnit, bool] | None:
+        """Next unit for worker *slot*: home shard first, else steal.
+
+        Home units come off the queue's head; stolen units come off the
+        **tail** of the longest remaining queue, so the thief works the
+        straggler's far end while its owner keeps draining the front.
+        """
+        home = runs[slot % len(runs)]
+        if home.pending:
+            return home, home.pending.popleft(), False
+        victim = max(runs, key=lambda run: len(run.pending))
+        if not victim.pending:
+            return None
+        return victim, victim.pending.pop(), True
+
+    def _record(
+        self, run: _ShardRun, unit: WorkUnit, result: UnitResult, stolen: bool
+    ) -> None:
+        run.ledger.mark_done(result)
+        run.attempts[unit.id] = result.attempt
+        if self.progress is not None:
+            self.progress(run.name, unit.id, result)
+        if result.outcome == "error" and result.attempt <= self.retries:
+            run.retried += 1
+            run.pending.appendleft(unit)
+            return
+        run.results[unit.id] = result
+        run.executed += 1
+        if stolen:
+            run.stolen += 1
+
+    # ------------------------------------------------------------------ #
+    # Shard result document
+
+    def _write_shard_document(self, run: _ShardRun) -> Path:
+        flakes = run.ledger.replay().flaky_units()
+        telemetry_units = {
+            unit_id: result.telemetry
+            for unit_id, result in sorted(run.results.items())
+        }
+        document = {
+            "schema": SCHEMA,
+            "campaign": self.spec.digest(),
+            "spec": self.spec.to_json(),
+            "shard": list(run.selection.shard),
+            "units": {
+                unit_id: {
+                    "outcome": result.outcome,
+                    "payload": result.payload,
+                    "digest": result.digest(),
+                }
+                for unit_id, result in sorted(run.results.items())
+            },
+            "flakes": flakes,
+            "telemetry": {
+                "executed": run.executed,
+                "resumed": run.resumed,
+                "stolen": run.stolen,
+                "retried": run.retried,
+                "elapsed_s": round(run.elapsed_s, 3),
+                "cache_hits": sum(
+                    t.get("cache_hits", 0) for t in telemetry_units.values()
+                ),
+                "cache_misses": sum(
+                    t.get("cache_misses", 0) for t in telemetry_units.values()
+                ),
+                "torn_writes": run.ledger.torn_writes,
+                "stale_temps_removed": run.ledger.stale_temps_removed,
+                "units": telemetry_units,
+            },
+        }
+        path = self.out_dir / f"{run.name}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+
+__all__ = ["CampaignScheduler"]

@@ -1,0 +1,228 @@
+"""Deterministic campaign work units over grammars × seeds.
+
+A *campaign* is a declarative spec — how many fuzz iterations from which
+base seed, which corpus grammars to sweep, which grammars to benchmark —
+compiled by :func:`plan_units` into a flat, deterministically ordered
+list of :class:`WorkUnit`\\ s. Every orchestration layer above (shard
+partitioning, checkpoint ledgers, merged reports) addresses work only
+through unit ids, so two invocations of the same spec — on one machine
+or across a CI matrix — always agree on what the work *is*.
+
+Unit addressing::
+
+    fuzz:00000042        one fuzz-harness iteration at absolute seed 42
+    corpus:C.2           lint + ambiguity + provenance sweep of C.2
+    bench:Java.3         one benchmark pass over Java.3
+
+Sharding is round-robin over the planned order (``units[k-1::m]`` for
+shard ``k/M``): deterministic, and it interleaves the three unit kinds
+so no shard is stuck with all the heavy rows.
+
+The campaign *digest* fingerprints the spec (not the sharding): shard
+result files record it, and :func:`repro.campaign.report.merge_shard_documents`
+refuses to merge shards of different campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+SCHEMA = "repro.campaign/1"
+
+#: Width of the zero-padded absolute seed in fuzz unit ids; keeps the
+#: lexicographic unit order equal to the numeric seed order.
+_SEED_WIDTH = 8
+
+KINDS = ("fuzz", "corpus", "bench")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable, checkpointable piece of a campaign.
+
+    Attributes:
+        kind: ``fuzz`` / ``corpus`` / ``bench``.
+        key: The seed (zero-padded) or grammar name the unit addresses.
+    """
+
+    kind: str
+    key: str
+
+    @property
+    def id(self) -> str:
+        return f"{self.kind}:{self.key}"
+
+    def to_json(self) -> dict[str, str]:
+        return {"kind": self.kind, "key": self.key}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, str]) -> "WorkUnit":
+        unit = cls(kind=str(data["kind"]), key=str(data["key"]))
+        if unit.kind not in KINDS:
+            raise ValueError(f"unknown unit kind {unit.kind!r}")
+        return unit
+
+    @classmethod
+    def from_id(cls, unit_id: str) -> "WorkUnit":
+        kind, _, key = unit_id.partition(":")
+        if not key:
+            raise ValueError(f"malformed unit id {unit_id!r}")
+        return cls.from_json({"kind": kind, "key": key})
+
+
+def fuzz_unit(seed: int) -> WorkUnit:
+    return WorkUnit("fuzz", f"{seed:0{_SEED_WIDTH}d}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What a campaign runs; everything the unit results may depend on.
+
+    The spec is the unit of agreement between shards: it is hashed into
+    :meth:`digest`, echoed into every shard result file, and checked at
+    merge time. Timing knobs are part of the spec (they shape telemetry
+    and which degradation rungs fire) even though the *deterministic*
+    payload of every unit is wall-clock independent.
+    """
+
+    fuzz_iterations: int = 0
+    fuzz_seed: int = 0
+    corpus: tuple[str, ...] = ()
+    bench: tuple[str, ...] = ()
+    time_limit: float = 0.3
+    cumulative_limit: float = 2.0
+    oracle_samples: int = 4
+    max_lr1_states: int = 2_000
+    verify_step_budget: int = 50_000
+    bench_repeats: int = 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "fuzz_iterations": self.fuzz_iterations,
+            "fuzz_seed": self.fuzz_seed,
+            "corpus": list(self.corpus),
+            "bench": list(self.bench),
+            "time_limit": self.time_limit,
+            "cumulative_limit": self.cumulative_limit,
+            "oracle_samples": self.oracle_samples,
+            "max_lr1_states": self.max_lr1_states,
+            "verify_step_budget": self.verify_step_budget,
+            "bench_repeats": self.bench_repeats,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        defaults = cls()
+        unknown = set(data) - set(defaults.to_json())
+        if unknown:
+            raise ValueError(f"unknown spec fields: {', '.join(sorted(unknown))}")
+        return cls(
+            fuzz_iterations=int(data.get("fuzz_iterations", 0)),
+            fuzz_seed=int(data.get("fuzz_seed", 0)),
+            corpus=tuple(data.get("corpus", ())),
+            bench=tuple(data.get("bench", ())),
+            time_limit=float(data.get("time_limit", defaults.time_limit)),
+            cumulative_limit=float(
+                data.get("cumulative_limit", defaults.cumulative_limit)
+            ),
+            oracle_samples=int(
+                data.get("oracle_samples", defaults.oracle_samples)
+            ),
+            max_lr1_states=int(
+                data.get("max_lr1_states", defaults.max_lr1_states)
+            ),
+            verify_step_budget=int(
+                data.get("verify_step_budget", defaults.verify_step_budget)
+            ),
+            bench_repeats=int(data.get("bench_repeats", defaults.bench_repeats)),
+        )
+
+    def digest(self) -> str:
+        """Content hash identifying the campaign (sharding excluded)."""
+        canonical = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(f"{SCHEMA}\n{canonical}".encode()).hexdigest()[:16]
+
+
+def plan_units(spec: CampaignSpec) -> list[WorkUnit]:
+    """Compile *spec* into its deterministic flat unit list.
+
+    Order: fuzz seeds ascending, then corpus grammars in spec order,
+    then bench grammars in spec order. The order is part of the campaign
+    contract — round-robin sharding slices it — so it must never depend
+    on anything but the spec.
+    """
+    units = [
+        fuzz_unit(spec.fuzz_seed + index) for index in range(spec.fuzz_iterations)
+    ]
+    units += [WorkUnit("corpus", name) for name in spec.corpus]
+    units += [WorkUnit("bench", name) for name in spec.bench]
+    seen: set[str] = set()
+    for unit in units:
+        if unit.id in seen:
+            raise ValueError(f"duplicate unit {unit.id!r} in campaign plan")
+        seen.add(unit.id)
+    return units
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"k/M"`` into ``(k, M)`` with ``1 <= k <= M``."""
+    try:
+        left, right = text.split("/", 1)
+        k, m = int(left), int(right)
+    except ValueError:
+        raise ValueError(
+            f"malformed shard {text!r} (expected k/M, e.g. 2/4)"
+        ) from None
+    if m < 1 or not 1 <= k <= m:
+        raise ValueError(f"shard {text!r} out of range (need 1 <= k <= M)")
+    return k, m
+
+
+def partition_units(units: list[WorkUnit], shards: int) -> list[list[WorkUnit]]:
+    """Round-robin partition of *units* into *shards* ordered queues.
+
+    Shard ``k`` (1-based) owns ``units[k-1::shards]``. Every unit lands
+    in exactly one shard, and concatenating the shards in round-robin
+    order reproduces the plan — the property the merge gate leans on.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return [units[k::shards] for k in range(shards)]
+
+
+@dataclass
+class ShardSelection:
+    """One shard's slice of a campaign plan."""
+
+    shard: tuple[int, int]
+    units: list[WorkUnit] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        k, m = self.shard
+        return f"shard-{k}-of-{m}"
+
+
+def select_shard(spec: CampaignSpec, shard: tuple[int, int]) -> ShardSelection:
+    """The units shard ``k/M`` of *spec* is responsible for."""
+    k, m = shard
+    if not 1 <= k <= m:
+        raise ValueError(f"shard {k}/{m} out of range")
+    return ShardSelection(shard=shard, units=partition_units(plan_units(spec), m)[k - 1])
+
+
+__all__ = [
+    "KINDS",
+    "SCHEMA",
+    "CampaignSpec",
+    "ShardSelection",
+    "WorkUnit",
+    "fuzz_unit",
+    "parse_shard",
+    "partition_units",
+    "plan_units",
+    "select_shard",
+]

@@ -4,11 +4,14 @@ Usage::
 
     repro-conflicts GRAMMAR.y [options]
     repro-conflicts serve [options]
+    repro-conflicts campaign {plan,run,warm,merge} [options]
     python -m repro GRAMMAR.y [options]
     python -m repro --corpus figure1
 
 Prints one report per conflict, in the format of the paper's Figure 11.
-``serve`` boots the supervised analysis service (see docs/SERVICE.md).
+``serve`` boots the supervised analysis service (see docs/SERVICE.md);
+``campaign`` drives sharded, resumable verification campaigns (see
+docs/CAMPAIGN.md).
 
 A campaign interrupted by SIGINT/SIGTERM cancels *structurally*: the
 in-flight conflict finishes degrading to a stub, the remaining conflicts
@@ -368,6 +371,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.app import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import campaign_main
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     collector = None

@@ -192,18 +192,7 @@ class EarleyParser:
             """Minimum tokens a symbol consumes in a sentential form."""
             return 0 if symbol in nullable else 1
 
-        # spans[(nonterminal, i)] = all j with a completed derivation i..j.
-        spans: dict[tuple[Nonterminal, int], set[int]] = {}
-        completed: dict[tuple[Nonterminal, int, int], list[Production]] = {}
-        for index, chart_set in enumerate(sets):
-            for item in chart_set:
-                if item.at_end:
-                    lhs = item.production.lhs
-                    assert isinstance(lhs, Nonterminal)
-                    spans.setdefault((lhs, item.origin), set()).add(index)
-                    completed.setdefault((lhs, item.origin, index), []).append(
-                        item.production
-                    )
+        spans, completed = self._completed_spans(sets)
 
         found: list[ParseTree] = []
         seen: set[ParseTree] = set()
@@ -237,7 +226,19 @@ class EarleyParser:
                 assert isinstance(symbol, Nonterminal)
                 for production in completed.get((symbol, start, end), []):
                     for children in split_trees(production.rhs, 0, start, end):
-                        yield node(production, children)
+                        # Release the re-entry hold across the yield: once a
+                        # complete subtree is handed upward, this expansion is
+                        # no longer an *ancestor* of whatever the caller builds
+                        # next. Sibling occurrences of the same (symbol, span)
+                        # — e.g. the three n1's of `n0 : n1 n1 n1` over the
+                        # empty string — would otherwise burn the cycle budget
+                        # meant for genuine recursive descent and undercount
+                        # derivations of ambiguous nullable forms.
+                        visiting[key] -= 1
+                        try:
+                            yield node(production, children)
+                        finally:
+                            visiting[key] += 1
             finally:
                 visiting[key] -= 1
 
@@ -274,6 +275,32 @@ class EarleyParser:
                         return found
         return found
 
+    @staticmethod
+    def _completed_spans(
+        sets,
+    ) -> tuple[
+        dict[tuple[Nonterminal, int], set[int]],
+        dict[tuple[Nonterminal, int, int], list[Production]],
+    ]:
+        """Completed-item index of a chart.
+
+        ``spans[(nonterminal, i)]`` holds every ``j`` with a completed
+        derivation of ``tokens[i:j]``; ``completed[(nonterminal, i, j)]``
+        lists the productions completing that span.
+        """
+        spans: dict[tuple[Nonterminal, int], set[int]] = {}
+        completed: dict[tuple[Nonterminal, int, int], list[Production]] = {}
+        for index, chart_set in enumerate(sets):
+            for item in chart_set:
+                if item.at_end:
+                    lhs = item.production.lhs
+                    assert isinstance(lhs, Nonterminal)
+                    spans.setdefault((lhs, item.origin), set()).add(index)
+                    completed.setdefault((lhs, item.origin, index), []).append(
+                        item.production
+                    )
+        return spans, completed
+
     def _nullable(self) -> frozenset:
         """Nullable nonterminals, computed once per parser."""
         cached = getattr(self, "_nullable_cache", None)
@@ -292,12 +319,112 @@ class EarleyParser:
         step_budget: int | None = None,
         budget: Budget | None = None,
     ) -> int:
-        """Number of distinct derivation trees, capped at *limit*."""
-        return len(
-            self.derivations(
-                root, form, limit=limit, step_budget=step_budget, budget=budget
-            )
+        """Number of distinct derivation trees, saturating at *limit*.
+
+        Unlike :meth:`derivations`, this never enumerates trees: counts
+        live in ``{0, ..., limit}`` and each ``(symbol, span)`` cell is the
+        saturating sum, over its completed productions, of the saturating
+        product over split points — iterated to a fixpoint so cyclic
+        grammars (infinitely many trees) converge in polynomial time
+        instead of exhausting an exponential enumeration space. Counts
+        strictly below *limit* are exact; *limit* means "at least".
+        """
+        tokens = list(form)
+        sets = self._chart(root, tokens, budget=budget)
+        length = len(tokens)
+        spans, completed = self._completed_spans(sets)
+        cap = max(1, limit)
+        steps_left = [step_budget if step_budget is not None else -1]
+
+        def spend_step() -> None:
+            if steps_left[0] == 0:
+                raise DerivationBudgetExceeded(
+                    f"derivation counting exceeded {step_budget} steps",
+                    stage="verify",
+                )
+            steps_left[0] -= 1
+            if budget is not None:
+                budget.charge()
+                budget.poll("verify")
+
+        ways: dict[tuple[Nonterminal, int, int], int] = dict.fromkeys(
+            completed, 0
         )
+
+        def symbol_ways(symbol: Symbol, start: int, end: int) -> int:
+            total = 1 if end == start + 1 and tokens[start] == symbol else 0
+            if symbol.is_nonterminal:
+                total += ways.get((symbol, start, end), 0)  # type: ignore[arg-type]
+            return min(cap, total)
+
+        def split_ways(
+            rhs: tuple[Symbol, ...],
+            index: int,
+            start: int,
+            end: int,
+            memo: dict[tuple[int, int, int], int],
+        ) -> int:
+            """Ways to derive tokens[start:end] from rhs[index:]."""
+            if index == len(rhs):
+                return 1 if start == end else 0
+            key = (index, start, end)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            spend_step()
+            symbol = rhs[index]
+            ends: set[int] = set()
+            if start < end and tokens[start] == symbol:
+                ends.add(start + 1)
+            if symbol.is_nonterminal:
+                assert isinstance(symbol, Nonterminal)
+                ends.update(j for j in spans.get((symbol, start), ()) if j <= end)
+            total = 0
+            for middle in sorted(ends):
+                first = symbol_ways(symbol, start, middle)
+                if not first:
+                    continue
+                rest = split_ways(rhs, index + 1, middle, end, memo)
+                if rest:
+                    total += first * rest
+                    if total >= cap:
+                        break
+            total = min(cap, total)
+            memo[key] = total
+            return total
+
+        def recount(symbol: Nonterminal, start: int, end: int) -> int:
+            # Cells hold production-derived counts only; the single-token
+            # leaf case is added at use sites by symbol_ways().
+            total = 0
+            for production in completed[(symbol, start, end)]:
+                total += split_ways(production.rhs, 0, start, end, {})
+                if total >= cap:
+                    break
+            return min(cap, total)
+
+        # Kleene iteration: counts only grow and are bounded by the cap, so
+        # the chaotic recomputation below reaches the least fixpoint — the
+        # capped true count — in at most cap * len(ways) sweeps.
+        changed = True
+        while changed:
+            changed = False
+            for (symbol, start, end), current in ways.items():
+                if current >= cap:
+                    continue
+                updated = recount(symbol, start, end)
+                if updated > current:
+                    ways[(symbol, start, end)] = updated
+                    changed = True
+
+        # The trivial zero-step derivation of [root] is not counted: the
+        # top level sums over applied productions only, like derivations().
+        total = 0
+        for production in completed.get((root, 0, length), []):
+            total += split_ways(production.rhs, 0, 0, length, {})
+            if total >= cap:
+                break
+        return min(cap, total)
 
     def is_ambiguous_form(
         self,

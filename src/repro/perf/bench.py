@@ -203,6 +203,46 @@ def run_suite(
     return report
 
 
+def merge_reports(reports: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold sharded ``run --shard k/M`` reports into one suite report.
+
+    Settings must agree across shards; grammar sets must be disjoint.
+    The merged calibration is the mean of the shard calibrations — each
+    shard's timings were taken at its own machine speed, so no single
+    shard's constant is more correct than another's.
+    """
+    if not reports:
+        raise ValueError("no bench reports to merge")
+    for report in reports:
+        if report.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported bench schema {report.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+    head = reports[0]
+    for key in ("repeats", "time_limit", "cumulative_limit"):
+        values = {report.get(key) for report in reports}
+        if len(values) != 1:
+            raise ValueError(f"shard reports disagree on {key}: {sorted(values)}")
+    merged: dict[str, Any] = {
+        "schema": SCHEMA,
+        "repeats": head["repeats"],
+        "time_limit": head["time_limit"],
+        "cumulative_limit": head["cumulative_limit"],
+        "calibration_s": round(
+            statistics.mean(r.get("calibration_s", 0.0) for r in reports), 6
+        ),
+        "grammars": {},
+    }
+    for report in reports:
+        for name, entry in report.get("grammars", {}).items():
+            if name in merged["grammars"]:
+                raise ValueError(f"grammar {name!r} appears in multiple shards")
+            merged["grammars"][name] = entry
+    merged["grammars"] = dict(sorted(merged["grammars"].items()))
+    return merged
+
+
 # ---------------------------------------------------------------------- #
 # compare
 
@@ -389,6 +429,17 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--all", action="store_true", help="benchmark the whole corpus"
     )
+    run_p.add_argument(
+        "--shard",
+        default=None,
+        metavar="k/M",
+        help="run only grammars[k-1::M]; merge the per-shard reports "
+        "with the merge subcommand",
+    )
+
+    mrg_p = sub.add_parser("merge", help="merge sharded run reports into one")
+    mrg_p.add_argument("reports", nargs="+", type=Path)
+    mrg_p.add_argument("--out", type=Path, required=True)
 
     cmp_p = sub.add_parser("compare", help="gate a report against a baseline")
     cmp_p.add_argument("baseline", type=Path)
@@ -424,6 +475,11 @@ def main(argv: list[str] | None = None) -> int:
             grammars = [spec.name for spec in registry.all_specs()]
         else:
             grammars = args.grammars or FAST_GRAMMARS
+        if args.shard:
+            from repro.campaign.units import parse_shard
+
+            k, m = parse_shard(args.shard)
+            grammars = grammars[k - 1 :: m]
         report = run_suite(
             grammars,
             repeats=args.repeats,
@@ -433,6 +489,19 @@ def main(argv: list[str] | None = None) -> int:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
         print(f"wrote {args.out} ({len(report['grammars'])} grammars)")
+        return 0
+
+    if args.command == "merge":
+        try:
+            merged = merge_reports(
+                [json.loads(path.read_text()) for path in args.reports]
+            )
+        except ValueError as error:
+            print(f"merge error: {error}", file=sys.stderr)
+            return 2
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(merged, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.out} ({len(merged['grammars'])} grammars)")
         return 0
 
     if args.command == "compare":

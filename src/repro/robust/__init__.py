@@ -12,7 +12,10 @@ cancellable, and fault-isolated:
   and the :class:`DegradedExplanation` record behind the three-rung
   degradation ladder (unifying → nonunifying → conflict stub);
 * :mod:`repro.robust.faults` — the deterministic fault-injection
-  registry tests use to prove the ladder always terminates.
+  registry tests use to prove the ladder always terminates;
+* :mod:`repro.robust.ledger` — the generic crash-safe snapshot ledger
+  (append-only JSONL, torn-write tolerant, atomically rotated) behind
+  the service journal and the campaign shard checkpoints.
 
 See ``docs/ROBUSTNESS.md`` for the full model.
 """
@@ -51,6 +54,7 @@ from repro.robust.faults import (
     registry,
     specs_to_env,
 )
+from repro.robust.ledger import ReplayStats, SnapshotLedger
 from repro.robust.retry import NO_RETRY, RetryPolicy, call_with_retry
 
 __all__ = [
@@ -75,7 +79,9 @@ __all__ = [
     "MemoryBudgetExceeded",
     "NO_RETRY",
     "PathNotFoundError",
+    "ReplayStats",
     "RetryPolicy",
+    "SnapshotLedger",
     "Rung",
     "SearchTimeout",
     "Stage",

@@ -1,27 +1,17 @@
 """Crash-safe, append-only job journal (JSONL with atomic rotation).
 
-Every job mutation appends one full :class:`~repro.service.protocol.JobRecord`
-snapshot as a JSON line; replay folds the lines left to right, so the
-last intact snapshot per job id wins. Snapshots-not-deltas keeps replay
-trivially idempotent: replaying a journal twice — or a journal whose
-tail was torn off by ``kill -9`` — can never invent a job or a state
-transition that was not durably recorded.
+The storage discipline — full snapshots, idempotent left-to-right
+replay, torn-final-line skip + heal, atomic temp+fsync+``os.replace``
+rotation, stale-rotation-temp sweep on open — lives in the generic
+:class:`repro.robust.ledger.SnapshotLedger`; this module keeps only the
+job-shaped policy on top of it:
 
-Torn-write tolerance:
-
-* a **torn final line** (the classic crash-mid-``write``) fails JSON
-  decoding and is skipped — the job simply resumes from its previous
-  snapshot;
-* on re-open for append, a missing trailing newline is **healed** first,
-  so the next snapshot starts on a fresh line instead of fusing with the
-  torn fragment;
-* mid-file garbage (torn line later fused by a live writer that kept
-  appending) is counted and skipped, never fatal.
-
-Rotation rewrites the journal as one snapshot per retained job — live
-jobs always, terminal jobs up to ``keep_terminal`` (newest first) — into
-a temp file published with ``os.replace``, so a crash during rotation
-leaves the old journal intact.
+* snapshots are :class:`~repro.service.protocol.JobRecord` documents,
+  re-validated on replay (a line that parses as JSON but not as a job
+  record counts as torn, never as state);
+* rotation retains live jobs always and terminal jobs up to
+  ``keep_terminal`` (newest first), ordered by creation time;
+* :func:`resumable` names the jobs a restarted service must re-enqueue.
 
 The ``journal`` fault-injection point simulates a torn write: under an
 installed :class:`~repro.robust.faults.FaultKind.TORN_WRITE` spec the
@@ -31,24 +21,12 @@ mid-``write(2)`` leaves behind.
 
 from __future__ import annotations
 
-import json
 import os
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
-from repro.robust.faults import InjectedTornWrite, fire
+from repro.robust.ledger import ReplayStats, SnapshotLedger
 from repro.service.protocol import JobRecord, JobState
-
-
-@dataclass
-class ReplayStats:
-    """What :meth:`JobJournal.replay` saw while folding the journal."""
-
-    lines: int = 0
-    applied: int = 0
-    torn: int = 0
-    errors: list[str] = field(default_factory=list)
 
 
 class JobJournal:
@@ -73,86 +51,58 @@ class JobJournal:
         rotate_after: int = 512,
         keep_terminal: int = 256,
     ) -> None:
-        self.path = Path(path)
-        self.fsync = fsync
-        self.rotate_after = rotate_after
+        self._ledger = SnapshotLedger(
+            path, key="id", fsync=fsync, rotate_after=rotate_after
+        )
         self.keep_terminal = keep_terminal
-        self.appends_since_rotate = 0
-        self.torn_writes = 0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Storage-level state, delegated to the generic ledger
+
+    @property
+    def path(self) -> Path:
+        return self._ledger.path
+
+    @property
+    def fsync(self) -> bool:
+        return self._ledger.fsync
+
+    @property
+    def rotate_after(self) -> int:
+        return self._ledger.rotate_after
+
+    @property
+    def appends_since_rotate(self) -> int:
+        return self._ledger.appends_since_rotate
+
+    @property
+    def torn_writes(self) -> int:
+        return self._ledger.torn_writes
+
+    @property
+    def stale_temps_removed(self) -> int:
+        return self._ledger.stale_temps_removed
 
     # ------------------------------------------------------------------ #
     # Writing
 
     def append(self, record: JobRecord) -> None:
         """Durably append one snapshot of *record*."""
-        line = json.dumps(record.to_json(), separators=(",", ":"))
-        self._write_line(line)
-        self.appends_since_rotate += 1
-
-    def _write_line(self, line: str) -> None:
-        healed = self._needs_heal()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if healed:
-                handle.write("\n")
-            try:
-                fire("journal")
-                handle.write(line + "\n")
-            except InjectedTornWrite:
-                # Simulate a crash mid-write: persist only a prefix, no
-                # trailing newline. The snapshot is lost; replay falls
-                # back to the job's previous snapshot.
-                handle.write(line[: max(1, len(line) // 2)])
-                self.torn_writes += 1
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-
-    def _needs_heal(self) -> bool:
-        """True when the journal exists and does not end in a newline."""
-        try:
-            with open(self.path, "rb") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell() == 0:
-                    return False
-                handle.seek(-1, os.SEEK_END)
-                return handle.read(1) != b"\n"
-        except OSError:
-            return False
+        self._ledger.append(record.to_json())
 
     # ------------------------------------------------------------------ #
     # Reading
 
     def replay(self) -> tuple[dict[str, JobRecord], ReplayStats]:
         """Fold the journal into the latest snapshot per job id."""
-        stats = ReplayStats()
-        records: dict[str, JobRecord] = {}
-        try:
-            with open(self.path, encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except OSError:
-            return records, stats
-        for index, raw in enumerate(lines):
-            raw = raw.strip()
-            if not raw:
-                continue
-            stats.lines += 1
-            try:
-                record = JobRecord.from_json(json.loads(raw))
-            except (ValueError, KeyError, TypeError) as error:
-                stats.torn += 1
-                stats.errors.append(f"line {index + 1}: {error}")
-                continue
-            records[record.id] = record
-            stats.applied += 1
-        return records, stats
+        return self._ledger.replay(decode=JobRecord.from_json)
 
     # ------------------------------------------------------------------ #
     # Rotation
 
     def maybe_rotate(self, records: Iterable[JobRecord]) -> bool:
         """Compact once enough appends have accumulated."""
-        if self.appends_since_rotate < self.rotate_after:
+        if self._ledger.appends_since_rotate < self._ledger.rotate_after:
             return False
         self.rotate(records)
         return True
@@ -172,30 +122,12 @@ class JobJournal:
         terminal.sort(key=lambda record: record.updated_at, reverse=True)
         retained = live + terminal[: self.keep_terminal]
         retained.sort(key=lambda record: record.created_at)
-        tmp = self.path.with_name(self.path.name + ".rotate.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for record in retained:
-                handle.write(
-                    json.dumps(record.to_json(), separators=(",", ":")) + "\n"
-                )
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
-        self.appends_since_rotate = 0
+        self._ledger.rotate(record.to_json() for record in retained)
 
     # ------------------------------------------------------------------ #
 
     def info(self) -> dict[str, Any]:
-        try:
-            size = self.path.stat().st_size
-        except OSError:
-            size = 0
-        return {
-            "path": str(self.path),
-            "size_bytes": size,
-            "appends_since_rotate": self.appends_since_rotate,
-            "torn_writes": self.torn_writes,
-        }
+        return self._ledger.info()
 
 
 def resumable(records: dict[str, JobRecord]) -> list[JobRecord]:

@@ -124,6 +124,46 @@ class FuzzReport:
             counts[failure.kind.value] += 1
         return counts
 
+    def deterministic_json(self) -> dict:
+        """The wall-clock-independent slice of the report, JSON-ready.
+
+        This is the campaign orchestrator's per-unit payload: every
+        field here replays exactly from the seeds alone, so shard
+        reports merge byte-identically no matter which process — or
+        machine — ran each iteration. Timing-dependent tallies (the
+        unifying/nonunifying/timeout split, stub/degradation counts,
+        elapsed) are deliberately excluded; they travel as telemetry,
+        never as report content. Finder timeouts are likewise dropped
+        from the failure list — they are informational, not findings.
+        """
+        return {
+            "iterations": self.iterations,
+            "base_seed": self.base_seed,
+            "grammars": self.grammars,
+            "grammars_with_conflicts": self.grammars_with_conflicts,
+            "conflicts": self.conflicts,
+            "counterexamples_validated": self.counterexamples_validated,
+            "oracle_samples": self.oracle_samples,
+            "lint_diagnostics": self.lint_diagnostics,
+            "merge_artifacts": self.merge_artifacts,
+            "genuine_conflicts": self.genuine_conflicts,
+            "ambiguity": {
+                "unambiguous": self.ambiguity_unambiguous,
+                "ambiguous": self.ambiguity_ambiguous,
+                "inconclusive": self.ambiguity_inconclusive,
+            },
+            "failures": [
+                {
+                    "seed": failure.seed,
+                    "kind": failure.kind.value,
+                    "detail": failure.detail,
+                    "grammar": failure.grammar_text,
+                }
+                for failure in self.failures
+                if failure.kind is not FailureKind.FINDER_TIMEOUT
+            ],
+        }
+
     def describe(self) -> str:
         counts = self.counts_by_kind()
         lines = [
@@ -278,6 +318,17 @@ class FuzzHarness:
                 progress(index + 1, iterations, report)
         report.elapsed = time.monotonic() - started
         return report
+
+    def run_unit(self, iteration_seed: int) -> FuzzReport:
+        """Run exactly one iteration at the *absolute* seed given.
+
+        The unit-addressable spelling of :meth:`run`: a campaign shard
+        calls this once per work unit, so ``run(n, seed=s)`` and ``n``
+        separate ``run_unit(s + i)`` calls cover the same seeds and sum
+        to the same deterministic counters (see
+        :meth:`FuzzReport.deterministic_json`).
+        """
+        return self.run(1, seed=iteration_seed)
 
     def _run_one(self, iteration_seed: int, report: FuzzReport) -> None:
         try:

@@ -1,0 +1,68 @@
+"""Shard ledger crash-safety: replay, interruption, flake history."""
+
+from __future__ import annotations
+
+from repro.campaign.ledger import ShardLedger
+from repro.campaign.runner import UnitResult
+from repro.campaign.units import fuzz_unit
+from repro.robust.faults import FaultKind, FaultSpec, inject_faults
+
+
+def _result(unit_id: str, payload: dict, attempt: int = 1) -> UnitResult:
+    return UnitResult(unit_id, "ok", payload, {"elapsed_s": 0.1}, attempt)
+
+
+class TestReplay:
+    def test_done_units_are_terminal(self, tmp_path):
+        ledger = ShardLedger(tmp_path / "s.jsonl")
+        unit = fuzz_unit(1)
+        ledger.mark_running(unit, 1)
+        ledger.mark_done(_result(unit.id, {"x": 1}))
+        state = ledger.replay()
+        assert set(state.completed) == {unit.id}
+        assert state.interrupted == {}
+        assert state.completed[unit.id].payload == {"x": 1}
+
+    def test_running_units_are_interrupted(self, tmp_path):
+        ledger = ShardLedger(tmp_path / "s.jsonl")
+        done, lost = fuzz_unit(1), fuzz_unit(2)
+        ledger.mark_running(done, 1)
+        ledger.mark_done(_result(done.id, {}))
+        ledger.mark_running(lost, 1)  # killed before mark_done
+        state = ledger.replay()
+        assert set(state.completed) == {done.id}
+        assert state.interrupted == {lost.id: 1}
+
+    def test_torn_done_line_degrades_to_interrupted(self, tmp_path):
+        ledger = ShardLedger(tmp_path / "s.jsonl")
+        unit = fuzz_unit(1)
+        ledger.mark_running(unit, 1)
+        with inject_faults(FaultSpec(point="journal", kind=FaultKind.TORN_WRITE)):
+            ledger.mark_done(_result(unit.id, {"x": 1}))
+        assert ledger.torn_writes == 1
+        state = ledger.replay()
+        # The intact `running` snapshot wins: the unit re-runs.
+        assert state.completed == {}
+        assert state.interrupted == {unit.id: 1}
+
+
+class TestFlakes:
+    def test_agreeing_attempts_are_not_flaky(self, tmp_path):
+        ledger = ShardLedger(tmp_path / "s.jsonl")
+        unit = fuzz_unit(1)
+        for attempt in (1, 2):
+            ledger.mark_running(unit, attempt)
+            ledger.mark_done(_result(unit.id, {"x": 1}, attempt))
+        assert ledger.replay().flaky_units() == {}
+
+    def test_disagreeing_attempts_are_flagged(self, tmp_path):
+        ledger = ShardLedger(tmp_path / "s.jsonl")
+        unit = fuzz_unit(1)
+        ledger.mark_running(unit, 1)
+        ledger.mark_done(_result(unit.id, {"x": 1}, 1))
+        ledger.mark_running(unit, 2)
+        ledger.mark_done(_result(unit.id, {"x": 2}, 2))
+        flakes = ledger.replay().flaky_units()
+        assert set(flakes) == {unit.id}
+        assert len(flakes[unit.id]) == 2
+        assert len(set(flakes[unit.id])) == 2

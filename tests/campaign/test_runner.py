@@ -1,0 +1,74 @@
+"""Unit execution: determinism, payload/telemetry split, error capture."""
+
+from __future__ import annotations
+
+from repro.campaign.runner import UnitResult, execute_unit
+from repro.campaign.units import CampaignSpec, WorkUnit, fuzz_unit
+
+FAST_SPEC = CampaignSpec(fuzz_iterations=1, fuzz_seed=3, corpus=("figure1",))
+
+
+class TestUnitResult:
+    def test_digest_covers_only_the_deterministic_half(self):
+        base = UnitResult("fuzz:00000001", "ok", {"conflicts": 2}, {"t": 1.0})
+        same_payload = UnitResult(
+            "fuzz:00000001", "ok", {"conflicts": 2}, {"t": 9.9}, attempt=4
+        )
+        differs = UnitResult("fuzz:00000001", "ok", {"conflicts": 3})
+        assert base.digest() == same_payload.digest()
+        assert base.digest() != differs.digest()
+
+    def test_json_roundtrip(self):
+        result = UnitResult("corpus:abcd", "ok", {"a": 1}, {"b": 2}, attempt=2)
+        again = UnitResult.from_json(result.to_json())
+        assert again == result
+        assert result.to_json()["digest"] == result.digest()
+
+
+class TestExecution:
+    def test_fuzz_unit_payload_is_seed_deterministic(self):
+        unit = fuzz_unit(3)
+        first = execute_unit(unit, FAST_SPEC)
+        second = execute_unit(unit, FAST_SPEC, attempt=2)
+        assert first.outcome == "ok"
+        assert first.digest() == second.digest()
+        # Telemetry may disagree (timings); the payload must not.
+        assert first.payload == second.payload
+        assert "elapsed_s" in first.telemetry
+
+    def test_corpus_unit_reports_all_three_analyses(self):
+        result = execute_unit(WorkUnit("corpus", "figure1"), FAST_SPEC)
+        assert result.outcome == "ok"
+        payload = result.payload
+        assert payload["grammar"] == "figure1"
+        assert payload["conflicts"] >= 1
+        assert set(payload["lint"]) == {"info", "warning", "error"}
+        assert set(payload["ambiguity"]) == {
+            "unambiguous",
+            "ambiguous",
+            "inconclusive",
+        }
+        assert set(payload["provenance"]) == {
+            "genuine",
+            "merge_artifact",
+            "unknown",
+        }
+        assert sum(payload["provenance"].values()) == payload["conflicts"]
+
+    def test_unknown_grammar_becomes_an_error_result_not_an_exception(self):
+        result = execute_unit(WorkUnit("corpus", "no-such-grammar"), FAST_SPEC)
+        assert result.outcome == "error"
+        assert result.payload["error_type"]
+        assert "traceback" in result.telemetry
+
+    def test_cache_deltas_are_recorded(self, tmp_path):
+        from repro.perf.cache import AutomatonCache
+
+        cache = AutomatonCache(tmp_path / "cache")
+        unit = WorkUnit("corpus", "figure1")
+        cold = execute_unit(unit, FAST_SPEC, cache)
+        warm = execute_unit(unit, FAST_SPEC, cache)
+        assert cold.telemetry["cache_misses"] > 0
+        assert warm.telemetry["cache_hits"] > 0
+        assert warm.telemetry["cache_misses"] == 0
+        assert cold.digest() == warm.digest()  # cache must not change results

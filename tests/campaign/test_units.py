@@ -1,0 +1,98 @@
+"""Campaign specs, unit addressing, and sharding arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.units import (
+    CampaignSpec,
+    WorkUnit,
+    fuzz_unit,
+    parse_shard,
+    partition_units,
+    plan_units,
+    select_shard,
+)
+
+SPEC = CampaignSpec(
+    fuzz_iterations=5, fuzz_seed=100, corpus=("figure1", "abcd"), bench=("eqn",)
+)
+
+
+class TestUnits:
+    def test_fuzz_ids_zero_pad_to_numeric_order(self):
+        assert fuzz_unit(7).id == "fuzz:00000007"
+        ids = [fuzz_unit(seed).id for seed in (2, 10, 100)]
+        assert ids == sorted(ids)
+
+    def test_id_roundtrip(self):
+        for unit in plan_units(SPEC):
+            assert WorkUnit.from_id(unit.id) == unit
+            assert WorkUnit.from_json(unit.to_json()) == unit
+
+    def test_unknown_kind_and_malformed_id_rejected(self):
+        with pytest.raises(ValueError):
+            WorkUnit.from_json({"kind": "mystery", "key": "x"})
+        with pytest.raises(ValueError):
+            WorkUnit.from_id("no-colon")
+
+
+class TestSpec:
+    def test_json_roundtrip_preserves_digest(self):
+        again = CampaignSpec.from_json(SPEC.to_json())
+        assert again == SPEC
+        assert again.digest() == SPEC.digest()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            CampaignSpec.from_json({"fuzz_iterationz": 3})
+
+    def test_digest_tracks_content(self):
+        other = CampaignSpec.from_json({**SPEC.to_json(), "fuzz_seed": 101})
+        assert other.digest() != SPEC.digest()
+
+
+class TestPlanning:
+    def test_plan_order_is_fuzz_then_corpus_then_bench(self):
+        ids = [unit.id for unit in plan_units(SPEC)]
+        assert ids == [
+            "fuzz:00000100",
+            "fuzz:00000101",
+            "fuzz:00000102",
+            "fuzz:00000103",
+            "fuzz:00000104",
+            "corpus:figure1",
+            "corpus:abcd",
+            "bench:eqn",
+        ]
+
+    def test_duplicate_units_rejected(self):
+        duplicated = CampaignSpec(corpus=("figure1", "figure1"))
+        with pytest.raises(ValueError, match="duplicate unit"):
+            plan_units(duplicated)
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("2/4") == (2, 4)
+        for bad in ("", "3", "0/4", "5/4", "a/b", "1/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7, 8, 20])
+    def test_partition_is_exact_and_disjoint(self, shards):
+        units = plan_units(SPEC)
+        parts = partition_units(units, shards)
+        assert len(parts) == shards
+        flat = [unit.id for part in parts for unit in part]
+        assert sorted(flat) == sorted(unit.id for unit in units)
+        # Round-robin: shard k holds units[k-1::shards] in plan order.
+        for k, part in enumerate(parts):
+            assert part == units[k::shards]
+
+    def test_select_shard_names(self):
+        selection = select_shard(SPEC, (2, 4))
+        assert selection.name == "shard-2-of-4"
+        assert all(unit in plan_units(SPEC) for unit in selection.units)
+        with pytest.raises(ValueError):
+            select_shard(SPEC, (5, 4))

@@ -130,6 +130,42 @@ class TestDerivationCounting:
         # a, s -> [s -> a], s -> [s -> [s -> a]], ... up to the cap.
         assert len(trees) == 4
 
+    def test_nullable_siblings_do_not_burn_the_cycle_budget(self):
+        # Fuzz seed 113 regression: all three n1's of `n0 : n1 n1 n1` over
+        # the empty string share the chart key (n1, 0, 0). The re-entry
+        # guard used to count those *siblings* against the budget meant for
+        # recursive descent, so the all-epsilon tree was never assembled and
+        # a genuinely ambiguous form counted < 2 derivations — making the
+        # validator reject the ambiguity walk's correct witness.
+        grammar = load_grammar("n0 : n1 n1 n1 ; n1 : n0 | %empty ;")
+        earley = EarleyParser(grammar)
+        n0 = Nonterminal("n0")
+        assert earley.is_ambiguous_form(n0, [], step_budget=50_000)
+        for limit in (1, 2, 3, 5):
+            trees = earley.derivations(n0, [], limit=limit)
+            assert len(trees) == limit
+            assert len(set(trees)) == limit
+
+    def test_nullable_siblings_unambiguous_control(self):
+        # Same sibling shape, but without the cycle there is exactly one
+        # derivation of '' — the fix must not overcount either.
+        grammar = load_grammar("n0 : n1 n1 n1 ; n1 : %empty ;")
+        earley = EarleyParser(grammar)
+        assert earley.count_derivations(Nonterminal("n0"), [], limit=5) == 1
+
+    def test_count_agrees_with_enumeration(self, ambiguous_expr):
+        # count_derivations() answers by saturating fixpoint, not by
+        # enumerating trees — the two must agree wherever enumeration
+        # is tractable.
+        earley = EarleyParser(ambiguous_expr)
+        e = Nonterminal("e")
+        for text in ("ID", "ID + ID", "ID + ID + ID", "ID + ID + ID + ID"):
+            form = symbols(text, ambiguous_expr)
+            for limit in (1, 2, 3, 5):
+                counted = earley.count_derivations(e, form, limit=limit)
+                enumerated = len(earley.derivations(e, form, limit=limit))
+                assert counted == enumerated, (text, limit)
+
     def test_trees_are_valid_derivations(self, ambiguous_expr):
         earley = EarleyParser(ambiguous_expr)
         e = Nonterminal("e")

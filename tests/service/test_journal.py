@@ -80,6 +80,25 @@ class TestTornWrites:
         assert len(lines) == 2
         json.loads(lines[1])
 
+    def test_stale_rotation_temp_is_swept_on_reopen(self, tmp_path):
+        # A writer killed mid-rotation leaves j.jsonl.rotate.tmp* behind
+        # (the os.replace never happened). Reopening the journal must
+        # sweep the orphan instead of letting temp files accumulate.
+        journal = JobJournal(tmp_path / "j.jsonl")
+        job = _job()
+        journal.append(job)
+        stale = tmp_path / "j.jsonl.rotate.tmp1234"
+        stale.write_text('{"half": "written rot')
+        unrelated = tmp_path / "other.jsonl.rotate.tmp1"
+        unrelated.write_text("not ours")
+
+        reopened = JobJournal(tmp_path / "j.jsonl")
+        assert reopened.stale_temps_removed == 1
+        assert not stale.exists()
+        assert unrelated.exists()  # only this journal's temps are swept
+        records, _ = reopened.replay()
+        assert set(records) == {job.id}
+
     def test_mid_file_garbage_is_skipped_not_fatal(self, tmp_path):
         journal = JobJournal(tmp_path / "j.jsonl")
         a, b = _job("a"), _job("b", grammar="%start S\nS : 'b' ;")

@@ -1,0 +1,55 @@
+"""The smoke driver must reap live servers when a check aborts.
+
+Regression: ``scripts/service_smoke.py``'s ``fail()`` used to
+``sys.exit`` straight over running server subprocesses, stranding
+orphans that kept writing journal temp files into a directory the
+sweep was tearing down.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+import types
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "service_smoke.py"
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location("_service_smoke", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def _sleeper() -> subprocess.Popen:
+    return subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+
+
+class TestFailReapsServers:
+    def test_fail_kills_every_live_server_before_exiting(self, capsys):
+        smoke = _load_smoke()
+        processes = [_sleeper(), _sleeper()]
+        smoke._LIVE_SERVERS.extend(
+            types.SimpleNamespace(process=process) for process in processes
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            smoke.fail("synthetic check failure")
+        assert excinfo.value.code == 1
+        for process in processes:
+            assert process.wait(timeout=10) is not None
+        assert "synthetic check failure" in capsys.readouterr().err
+
+    def test_fail_tolerates_already_dead_servers(self, capsys):
+        smoke = _load_smoke()
+        process = _sleeper()
+        process.kill()
+        process.wait(timeout=10)
+        smoke._LIVE_SERVERS.append(types.SimpleNamespace(process=process))
+        with pytest.raises(SystemExit):
+            smoke.fail("after the server already exited")
